@@ -1,0 +1,38 @@
+# Convenience targets for the bftfast reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race bench figures fs-figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./bft/ ./internal/transport/
+
+# Every paper figure at reduced resolution (a few minutes).
+bench:
+	$(GO) test -bench=. -benchmem -run nope .
+
+# Full-resolution micro-benchmark figures (Figures 2-7 + §4.4; ~6 min).
+figures:
+	$(GO) run ./cmd/bft-bench -figure all
+
+# Full-resolution file-system figures (Figures 8-9; ~25 min).
+fs-figures:
+	$(GO) run ./cmd/bfs-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/filesystem
+	$(GO) run ./examples/viewchange
+
+clean:
+	$(GO) clean -testcache

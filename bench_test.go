@@ -1,0 +1,252 @@
+// Package bftfast's root benchmarks regenerate every table and figure of
+// the paper's evaluation (one testing.B benchmark per figure; see
+// EXPERIMENTS.md for the paper-vs-measured record):
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs the corresponding experiment on the simulated
+// testbed and prints the resulting table; the custom metrics attached via
+// b.ReportMetric carry the figure's headline numbers. One iteration of a
+// benchmark is one full experiment, so Go's benchmark harness keeps N
+// small. The cmd/bft-bench and cmd/bfs-bench tools produce the same tables
+// with full-resolution sweeps.
+package bftfast
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"bftfast/internal/bench"
+	"bftfast/internal/workload"
+)
+
+// benchScale shrinks simulation measurement windows for the sweeps; the
+// standalone tools run at scale 1.
+const benchScale = 0.25
+
+// benchClients is the client grid used by throughput sweeps here.
+var benchClients = []int{1, 5, 10, 20, 50, 100, 200}
+
+func cell(t *bench.Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkFigure2 reproduces Figure 2: latency and slowdown vs result
+// size for the simple service (metrics: slowdown at 0 B and at 8 KB).
+func BenchmarkFigure2(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure2(benchScale)
+	}
+	t.Print(os.Stdout)
+	b.ReportMetric(cell(t, 0, 4), "slowdown@0B")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 4), "slowdown@8KB")
+}
+
+// BenchmarkFigure3 reproduces Figure 3: the cost of tolerating two faults
+// (7 replicas) instead of one (metrics: f=2/f=1 latency ratio at the
+// smallest and largest argument).
+func BenchmarkFigure3(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure3(benchScale)
+	}
+	t.Print(os.Stdout)
+	b.ReportMetric(cell(t, 0, 5), "f2-slowdown@8B")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 5), "f2-slowdown@8KB")
+}
+
+// benchFigure4 runs one of Figure 4's three operations.
+func benchFigure4(b *testing.B, op string, metric string) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure4(op, benchClients, benchScale)
+	}
+	t.Print(os.Stdout)
+	last := len(t.Rows) - 1
+	b.ReportMetric(cell(t, last, 1), metric+"-rw-ops/s")
+	b.ReportMetric(cell(t, last, 2), metric+"-ro-ops/s")
+	b.ReportMetric(cell(t, last, 3), metric+"-norep-ops/s")
+}
+
+// BenchmarkFigure4_00 reproduces Figure 4's 0/0 panel (CPU-bound ops).
+func BenchmarkFigure4_00(b *testing.B) { benchFigure4(b, "0/0", "00") }
+
+// BenchmarkFigure4_04 reproduces Figure 4's 0/4 panel (4 KB results; BFT
+// beats NO-REP through digest replies).
+func BenchmarkFigure4_04(b *testing.B) { benchFigure4(b, "0/4", "04") }
+
+// BenchmarkFigure4_40 reproduces Figure 4's 4/0 panel (4 KB arguments;
+// request transmission bounds everyone near 3000 ops/s).
+func BenchmarkFigure4_40(b *testing.B) { benchFigure4(b, "4/0", "40") }
+
+// BenchmarkFigure5 reproduces Figure 5: the digest-replies ablation
+// (metric: BFT/BFT-NDR throughput ratio at the largest client count).
+func BenchmarkFigure5(b *testing.B) {
+	var lat, thr *bench.Table
+	for i := 0; i < b.N; i++ {
+		lat, thr = bench.Figure5(benchClients, benchScale)
+	}
+	lat.Print(os.Stdout)
+	thr.Print(os.Stdout)
+	last := len(thr.Rows) - 1
+	withT, withoutT := cell(thr, last, 1), cell(thr, last, 2)
+	if withoutT > 0 {
+		b.ReportMetric(withT/withoutT, "digest-replies-gain")
+	}
+}
+
+// BenchmarkFigure6 reproduces Figure 6: the batching ablation (metric:
+// batched/unbatched throughput ratio at the largest client count).
+func BenchmarkFigure6(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure6(benchClients, benchScale)
+	}
+	t.Print(os.Stdout)
+	last := len(t.Rows) - 1
+	with, without := cell(t, last, 1), cell(t, last, 2)
+	if without > 0 {
+		b.ReportMetric(with/without, "batching-gain")
+	}
+}
+
+// BenchmarkFigure7 reproduces Figure 7: the separate-request-transmission
+// ablation (metrics: latency saving at 8 KB arguments, throughput gain for
+// 4/0).
+func BenchmarkFigure7(b *testing.B) {
+	var lat, thr *bench.Table
+	for i := 0; i < b.N; i++ {
+		lat, thr = bench.Figure7(benchClients, benchScale)
+	}
+	lat.Print(os.Stdout)
+	thr.Print(os.Stdout)
+	lastL := len(lat.Rows) - 1
+	with, without := cell(lat, lastL, 1), cell(lat, lastL, 2)
+	if without > 0 {
+		b.ReportMetric(100*(1-with/without), "srt-latency-saving-%")
+	}
+}
+
+// BenchmarkTentativeExecution reproduces the §4.4 tentative-execution
+// text results (metric: latency saving at 0 B results).
+func BenchmarkTentativeExecution(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.TentativeExecution(benchScale)
+	}
+	t.Print(os.Stdout)
+	with, without := cell(t, 0, 1), cell(t, 0, 2)
+	if without > 0 {
+		b.ReportMetric(100*(1-with/without), "tentative-saving-%")
+	}
+}
+
+// BenchmarkPiggybackCommit reproduces the §4.4 piggybacked-commit text
+// results (metrics: gain at 5 clients and at 200).
+func BenchmarkPiggybackCommit(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.PiggybackCommit(benchScale)
+	}
+	t.Print(os.Stdout)
+	first, last := 0, len(t.Rows)-1
+	w0, s0 := cell(t, first, 1), cell(t, first, 2)
+	wN, sN := cell(t, last, 1), cell(t, last, 2)
+	if s0 > 0 {
+		b.ReportMetric(100*(w0/s0-1), "piggyback-gain@5-%")
+	}
+	if sN > 0 {
+		b.ReportMetric(100*(wN/sN-1), "piggyback-gain@200-%")
+	}
+}
+
+// figure8Copies picks the Andrew size: the paper's Andrew100 normally, a
+// small tree under -short. Andrew500 takes ~25 minutes of host time; run
+// it with `go run ./cmd/bfs-bench -copies 500` (EXPERIMENTS.md records its
+// results: BFS/NO-REP = 1.22, matching the paper).
+func figure8Copies(short bool) []int {
+	if short {
+		return []int{20}
+	}
+	return []int{100}
+}
+
+// BenchmarkFigure8 reproduces Figure 8: the scaled modified Andrew
+// benchmark on BFS, NO-REP and NFS-STD (metrics: BFS/NO-REP and
+// BFS/NFS-STD elapsed-time ratios for each size).
+func BenchmarkFigure8(b *testing.B) {
+	copies := figure8Copies(testing.Short())
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure8(copies)
+	}
+	t.Print(os.Stdout)
+	for r := range t.Rows {
+		b.ReportMetric(cell(t, r, 4), fmt.Sprintf("bfs/norep@%s", t.Rows[r][0]))
+		b.ReportMetric(cell(t, r, 5), fmt.Sprintf("bfs/nfsstd@%s", t.Rows[r][0]))
+	}
+}
+
+// BenchmarkFigure9 reproduces Figure 9: PostMark transactions per second
+// on the three systems (metrics: BFS's deficit vs NO-REP and vs NFS-STD).
+func BenchmarkFigure9(b *testing.B) {
+	cfg := workload.DefaultPostMark()
+	if testing.Short() {
+		cfg.InitialFiles = 200
+		cfg.Transactions = 1000
+	}
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Figure9(cfg)
+	}
+	t.Print(os.Stdout)
+	bfsT, nrT, stdT := cell(t, 0, 1), cell(t, 1, 1), cell(t, 2, 1)
+	if nrT > 0 {
+		b.ReportMetric(100*(1-bfsT/nrT), "bfs-below-norep-%")
+	}
+	if stdT > 0 {
+		b.ReportMetric(100*(1-bfsT/stdT), "bfs-below-nfsstd-%")
+	}
+}
+
+// BenchmarkAblationWindow sweeps the sliding-window size W — the knob
+// DESIGN.md calls out behind the batching optimization.
+func BenchmarkAblationWindow(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.AblationWindow(50, benchScale)
+	}
+	t.Print(os.Stdout)
+	b.ReportMetric(cell(t, 0, 1), "ops/s@W=1")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 1), "ops/s@W=32")
+}
+
+// BenchmarkAblationCheckpointInterval sweeps the checkpoint period K.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.AblationCheckpointInterval(50, benchScale)
+	}
+	t.Print(os.Stdout)
+	b.ReportMetric(cell(t, 0, 1), "ops/s@K=16")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 1), "ops/s@K=256")
+}
+
+// BenchmarkAblationInlineThreshold sweeps the separate-request-transmission
+// cutoff around the paper's 255-byte choice.
+func BenchmarkAblationInlineThreshold(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.AblationInlineThreshold(benchScale)
+	}
+	t.Print(os.Stdout)
+	b.ReportMetric(cell(t, 1, 1), "latency_ms@255B")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 1), "latency_ms@inline")
+}

@@ -1,0 +1,236 @@
+// Package bft is the public face of the BFT library: practical Byzantine
+// fault tolerance for deterministic services, as described in Castro &
+// Liskov's "Byzantine Fault Tolerance Can Be Fast" (DSN 2001) and
+// "Practical Byzantine Fault Tolerance" (OSDI 1999).
+//
+// A service is replicated across n = 3f+1 replicas and keeps working —
+// with linearizable semantics — while up to f of them fail arbitrarily.
+// The implementation authenticates all traffic with pairwise MACs
+// (public-key operations only stand behind key exchange), and includes the
+// paper's normal-case optimizations: digest replies, tentative execution,
+// piggybacked commits, single-round-trip read-only operations, request
+// batching, and separate request transmission. Each is an independent
+// switch in Options.
+//
+// # Quick start
+//
+// Implement StateMachine for your deterministic service, provision a
+// keyring per node, and start four replicas and a client on a network:
+//
+//	net := bft.NewChannelNetwork()
+//	rings := bft.NewKeyrings([]int{0, 1, 2, 3, 100})
+//	_ = bft.Provision(cryptorand.Reader, rings)
+//	for i := 0; i < 4; i++ {
+//		r, _ := bft.StartReplica(bft.DefaultConfig(4, i), newMySM(), rings[i], net)
+//		defer r.Close()
+//	}
+//	client, _ := bft.StartClient(bft.NewClientConfig(4, 100), rings[4], net)
+//	defer client.Close()
+//	result, _ := client.Invoke(context.Background(), []byte("op"), false)
+//
+// See the examples directory for runnable programs, and internal/sim for
+// the discrete-event testbed used to reproduce the paper's evaluation.
+package bft
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"bftfast/internal/core"
+	"bftfast/internal/crypto"
+	"bftfast/internal/proc"
+	"bftfast/internal/transport"
+)
+
+// Re-exported configuration and engine types. The aliases give downstream
+// users a single import while the implementation lives in internal
+// packages.
+type (
+	// Config parameterizes a replica; see DefaultConfig.
+	Config = core.Config
+	// ClientConfig parameterizes a client; see NewClientConfig.
+	ClientConfig = core.ClientConfig
+	// Options toggles the paper's normal-case optimizations.
+	Options = core.Options
+	// StateMachine is the deterministic service being replicated.
+	StateMachine = core.StateMachine
+	// Counters reports replica progress statistics.
+	Counters = core.Counters
+	// ClientCounters reports client-side protocol statistics.
+	ClientCounters = core.ClientStats
+	// Keyring holds one node's session and master keys.
+	Keyring = crypto.KeyTable
+	// Network delivers datagrams between nodes.
+	Network = transport.Network
+	// Env is the environment abstraction handed to EnvAware state
+	// machines (useful for simulations that model execution cost).
+	Env = proc.Env
+)
+
+// DefaultConfig returns the paper's standard replica configuration (all
+// optimizations except piggybacked commits) for a group of n replicas.
+func DefaultConfig(n, self int) Config { return core.DefaultConfig(n, self) }
+
+// AllOptimizations returns the optimization set the paper benchmarks as
+// "BFT".
+func AllOptimizations() Options { return core.AllOptimizations() }
+
+// NewClientConfig returns a client configuration matching DefaultConfig's
+// replica settings.
+func NewClientConfig(n, self int) ClientConfig {
+	rc := core.DefaultConfig(n, 0)
+	return ClientConfig{
+		N:                 n,
+		Self:              self,
+		Opts:              rc.Opts,
+		InlineThreshold:   rc.InlineThreshold,
+		RetransmitTimeout: 150 * time.Millisecond,
+	}
+}
+
+// NewKeyrings allocates a keyring per node id. Replica ids must be
+// 0..n-1; client ids must lie outside that range.
+func NewKeyrings(ids []int) []*Keyring {
+	rings := make([]*Keyring, len(ids))
+	for i, id := range ids {
+		rings[i] = crypto.NewKeyTable(id)
+	}
+	return rings
+}
+
+// Provision wires a full mesh of fresh pairwise session and master keys
+// across the given keyrings, reading randomness from rng (use
+// crypto/rand.Reader in production). It stands in for the public-key
+// session-key exchange of the paper's system.
+func Provision(rng io.Reader, rings []*Keyring) error {
+	return crypto.ProvisionAll(rng, rings)
+}
+
+// ExportKeyring serializes a keyring (including its secrets!) so separate
+// processes can each load their own share of a provisioned mesh. Treat
+// the blob like a private key file.
+func ExportKeyring(r *Keyring) []byte { return r.Export() }
+
+// ImportKeyring rebuilds a keyring from ExportKeyring output.
+func ImportKeyring(data []byte) (*Keyring, error) { return crypto.ImportKeyTable(data) }
+
+// NewChannelNetwork returns an in-process network for single-binary
+// deployments, tests and examples.
+func NewChannelNetwork() *transport.ChannelNetwork { return transport.NewChannelNetwork() }
+
+// NewUDPNetwork returns a network over UDP sockets given a node-id to
+// "host:port" table.
+func NewUDPNetwork(addrs map[int]string) (*transport.UDPNetwork, error) {
+	return transport.NewUDPNetwork(addrs)
+}
+
+// Replica is a running replica node.
+type Replica struct {
+	engine *core.Replica
+	node   *transport.Node
+}
+
+// StartReplica launches a replica for cfg on the given network. The
+// keyring must be provisioned (see Provision) and owned by cfg.Self.
+func StartReplica(cfg Config, sm StateMachine, keys *Keyring, net Network) (*Replica, error) {
+	engine, err := core.NewReplica(cfg, sm, keys, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	node, err := transport.Start(cfg.Self, engine, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{engine: engine, node: node}, nil
+}
+
+// Stats returns a snapshot of the replica's progress counters, taken on
+// the replica's own event loop.
+func (r *Replica) Stats() Counters {
+	var out Counters
+	done := make(chan struct{})
+	if err := r.node.Do(func() { out = r.engine.Stats(); close(done) }); err != nil {
+		return out
+	}
+	<-done
+	return out
+}
+
+// View returns the replica's current view, read on its event loop.
+func (r *Replica) View() int64 {
+	var v int64
+	done := make(chan struct{})
+	if err := r.node.Do(func() { v = r.engine.View(); close(done) }); err != nil {
+		return -1
+	}
+	<-done
+	return v
+}
+
+// ScheduleRecovery arms the replica's proactive-recovery watchdog to fire
+// after d: it discards the session keys peers use toward the replica and
+// resynchronizes from the group (see the paper's §2). Deployments stagger
+// d across replicas so fewer than f recover at once.
+func (r *Replica) ScheduleRecovery(d time.Duration) {
+	_ = r.node.Do(func() { r.engine.ScheduleRecovery(d) })
+}
+
+// Close stops the replica.
+func (r *Replica) Close() { r.node.Close() }
+
+// Client invokes operations on the replicated service.
+type Client struct {
+	engine *core.Client
+	node   *transport.Node
+}
+
+// StartClient launches a client on the given network.
+func StartClient(cfg ClientConfig, keys *Keyring, net Network) (*Client, error) {
+	engine, err := core.NewClient(cfg, keys, nil)
+	if err != nil {
+		return nil, err
+	}
+	node, err := transport.Start(cfg.Self, engine, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{engine: engine, node: node}, nil
+}
+
+// Invoke executes op on the replicated service and returns its result.
+// readOnly operations may use the single-round-trip fast path when the
+// group has it enabled; they must not mutate service state. Invoke is safe
+// for concurrent use; operations from one client are executed in
+// submission order.
+func (c *Client) Invoke(ctx context.Context, op []byte, readOnly bool) ([]byte, error) {
+	ch := make(chan []byte, 1)
+	err := c.node.Do(func() {
+		c.engine.Submit(op, readOnly, func(result []byte) { ch <- result })
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bft: client stopped: %w", err)
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("bft: invoke: %w", ctx.Err())
+	}
+}
+
+// Stats returns a snapshot of the client's protocol counters.
+func (c *Client) Stats() ClientCounters {
+	var out ClientCounters
+	done := make(chan struct{})
+	if err := c.node.Do(func() { out = c.engine.Stats(); close(done) }); err != nil {
+		return out
+	}
+	<-done
+	return out
+}
+
+// Close stops the client. Outstanding Invoke calls never complete after
+// Close; cancel their contexts.
+func (c *Client) Close() { c.node.Close() }

@@ -1,0 +1,88 @@
+// Command bft-bench regenerates the micro-benchmark figures of "Byzantine
+// Fault Tolerance Can Be Fast" (DSN 2001) on the simulated testbed:
+//
+//	bft-bench -figure 2          # latency vs result size (Figure 2)
+//	bft-bench -figure 3          # f=1 vs f=2 latency (Figure 3)
+//	bft-bench -figure 4          # throughput for 0/0, 0/4 and 4/0 (Figure 4)
+//	bft-bench -figure 5          # digest replies ablation (Figure 5)
+//	bft-bench -figure 6          # request batching ablation (Figure 6)
+//	bft-bench -figure 7          # separate request transmission (Figure 7)
+//	bft-bench -figure tentative  # §4.4 tentative-execution results
+//	bft-bench -figure piggyback  # §4.4 piggybacked-commit results
+//	bft-bench -figure ablation   # design-knob sweeps (window, K, threshold)
+//	bft-bench -figure all        # everything
+//
+// -scale shrinks measurement windows for quick looks (e.g. -scale 0.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bftfast/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: 2-7, tentative, piggyback, all")
+	scale := flag.Float64("scale", 1.0, "measurement-window scale (smaller is faster, noisier)")
+	clientsFlag := flag.String("clients", "", "comma-separated client counts for throughput sweeps")
+	flag.Parse()
+
+	clients := bench.ClientCounts
+	if *clientsFlag != "" {
+		clients = clients[:0]
+		for _, tok := range strings.Split(*clientsFlag, ",") {
+			var c int
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &c); err != nil || c <= 0 {
+				fmt.Fprintf(os.Stderr, "bft-bench: bad client count %q\n", tok)
+				os.Exit(2)
+			}
+			clients = append(clients, c)
+		}
+	}
+
+	out := os.Stdout
+	run := func(name string) {
+		switch name {
+		case "2":
+			bench.Figure2(*scale).Print(out)
+		case "3":
+			bench.Figure3(*scale).Print(out)
+		case "4":
+			for _, op := range []string{"0/0", "0/4", "4/0"} {
+				bench.Figure4(op, clients, *scale).Print(out)
+			}
+		case "5":
+			lat, thr := bench.Figure5(clients, *scale)
+			lat.Print(out)
+			thr.Print(out)
+		case "6":
+			bench.Figure6(clients, *scale).Print(out)
+		case "7":
+			lat, thr := bench.Figure7(clients, *scale)
+			lat.Print(out)
+			thr.Print(out)
+		case "tentative":
+			bench.TentativeExecution(*scale).Print(out)
+		case "piggyback":
+			bench.PiggybackCommit(*scale).Print(out)
+		case "ablation":
+			bench.AblationWindow(50, *scale).Print(out)
+			bench.AblationCheckpointInterval(50, *scale).Print(out)
+			bench.AblationInlineThreshold(*scale).Print(out)
+		default:
+			fmt.Fprintf(os.Stderr, "bft-bench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *figure == "all" {
+		for _, name := range []string{"2", "3", "4", "5", "6", "7", "tentative", "piggyback", "ablation"} {
+			run(name)
+		}
+		return
+	}
+	run(*figure)
+}

@@ -1,0 +1,116 @@
+// Command bft-kv is the client for the bft-replica key-value group:
+//
+//	bft-kv -id 100 -keys ./keys/node-100.keys -peers <table> set greeting hello
+//	bft-kv -id 100 -keys ./keys/node-100.keys -peers <table> get greeting
+//	bft-kv -id 100 -keys ./keys/node-100.keys -peers <table> del greeting
+//	bft-kv -id 100 -keys ./keys/node-100.keys -peers <table> keys
+//
+// Reads (get, keys) use the protocol's single-round-trip read-only path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bftfast/bft"
+	"bftfast/internal/kvservice"
+)
+
+func main() {
+	id := flag.Int("id", 100, "this client's node id (outside the replica range)")
+	replicas := flag.Int("replicas", 4, "group size (3f+1)")
+	keysPath := flag.String("keys", "", "keyring file from bft-keygen")
+	peersFlag := flag.String("peers", "", "node address table: id=host:port,...")
+	timeout := flag.Duration("timeout", 10*time.Second, "operation timeout")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("bft-kv: need a command: set <k> <v> | get <k> | del <k> | keys")
+	}
+	var op []byte
+	switch args[0] {
+	case "set":
+		if len(args) != 3 {
+			log.Fatal("bft-kv: set <key> <value>")
+		}
+		op = kvservice.SetOp(args[1], args[2])
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("bft-kv: get <key>")
+		}
+		op = kvservice.GetOp(args[1])
+	case "del":
+		if len(args) != 2 {
+			log.Fatal("bft-kv: del <key>")
+		}
+		op = kvservice.DelOp(args[1])
+	case "keys":
+		op = kvservice.KeysOp()
+	default:
+		log.Fatalf("bft-kv: unknown command %q", args[0])
+	}
+
+	addrs, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bft-kv: %v", err)
+	}
+	blob, err := os.ReadFile(*keysPath)
+	if err != nil {
+		log.Fatalf("bft-kv: reading keys: %v", err)
+	}
+	ring, err := bft.ImportKeyring(blob)
+	if err != nil {
+		log.Fatalf("bft-kv: %v", err)
+	}
+	network, err := bft.NewUDPNetwork(addrs)
+	if err != nil {
+		log.Fatalf("bft-kv: %v", err)
+	}
+	defer network.Close()
+
+	ccfg := bft.NewClientConfig(*replicas, *id)
+	// Each bft-kv run is a fresh process sharing the client identity, so
+	// timestamps must keep increasing across runs.
+	ccfg.TimestampBase = time.Now().UnixNano()
+	client, err := bft.StartClient(ccfg, ring, network)
+	if err != nil {
+		log.Fatalf("bft-kv: %v", err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	result, err := client.Invoke(ctx, op, kvservice.IsReadOnly(op))
+	if err != nil {
+		log.Fatalf("bft-kv: %v", err)
+	}
+	fmt.Println(string(result))
+}
+
+// parsePeers parses "id=host:port,id=host:port,...".
+func parsePeers(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	out := make(map[int]string)
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != ',' {
+			continue
+		}
+		tok := s[start:i]
+		start = i + 1
+		var id int
+		var addr string
+		if n, err := fmt.Sscanf(tok, "%d=%s", &id, &addr); n != 2 || err != nil {
+			return nil, fmt.Errorf("bad peer entry %q", tok)
+		}
+		out[id] = addr
+	}
+	return out, nil
+}

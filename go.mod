@@ -1,0 +1,3 @@
+module bftfast
+
+go 1.22

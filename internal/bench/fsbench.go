@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bftfast/internal/bfs"
+	"bftfast/internal/core"
+	"bftfast/internal/crypto"
+	"bftfast/internal/norep"
+	"bftfast/internal/proc"
+	"bftfast/internal/sim"
+	"bftfast/internal/workload"
+)
+
+// FSSystem selects one of the paper's file-service contenders.
+type FSSystem int
+
+// The three systems of Figures 8 and 9.
+const (
+	SystemBFS FSSystem = iota + 1
+	SystemNoRep
+	SystemNFSSTD
+)
+
+func (s FSSystem) String() string {
+	switch s {
+	case SystemBFS:
+		return "BFS"
+	case SystemNoRep:
+		return "NO-REP"
+	case SystemNFSSTD:
+		return "NFS-STD"
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+// ScaledAndrew returns the Andrew configuration used by this reproduction:
+// the paper's copy counts with each copy scaled down 5x (~0.4 MB instead
+// of ~2 MB) so four replicas' worth of Andrew500 state fits comfortably in
+// host memory. CacheBytes below is scaled identically, preserving the
+// paper's key property: Andrew100 fits in the page cache, Andrew500 does
+// not.
+func ScaledAndrew(copies int) workload.AndrewConfig {
+	cfg := workload.AndrewN(copies)
+	cfg.MaxFileBytes = 12 << 10 // ≈ 0.4 MB per copy across 60 files
+	return cfg
+}
+
+// CacheBytes is the scaled page-cache budget matching ScaledAndrew (the
+// paper's 400 MB effective cache, divided by the same factor of 5).
+const CacheBytes = 80 << 20
+
+// fsAdapter turns either protocol client into a workload.FSClient.
+type fsAdapter struct {
+	submit func(op []byte, readOnly bool, done func(result []byte))
+}
+
+func (a fsAdapter) Call(op []byte, readOnly bool, done func(result []byte)) {
+	a.submit(op, readOnly, done)
+}
+
+// fsWorkNode hosts a protocol client engine plus the workload driver on
+// one simulated client machine.
+type fsWorkNode struct {
+	inner proc.Handler
+	start func(env proc.Env, fsc workload.FSClient, done func())
+	fsc   workload.FSClient
+	Done  bool
+	EndAt time.Duration
+}
+
+func (w *fsWorkNode) Init(env proc.Env) {
+	w.inner.Init(env)
+	w.start(env, w.fsc, func() {
+		w.Done = true
+		w.EndAt = env.Now()
+	})
+}
+
+func (w *fsWorkNode) Receive(data []byte) { w.inner.Receive(data) }
+func (w *fsWorkNode) OnTimer(key int)     { w.inner.OnTimer(key) }
+
+// FSRunResult reports one file-system benchmark run.
+type FSRunResult struct {
+	System  FSSystem
+	Elapsed time.Duration
+	Ops     int64
+}
+
+// RunFS executes a workload against one file service in the simulated
+// testbed and returns the virtual elapsed time.
+func RunFS(system FSSystem, runner workload.Runner, cache int64) FSRunResult {
+	cm := sim.DefaultCostModel()
+	s := sim.New(cm, 1)
+
+	profile := bfs.BFSProfile()
+	if system == SystemNFSSTD {
+		profile = bfs.NFSSTDProfile()
+	}
+	profile.Disk.MemoryBytes = cache
+	if system == SystemBFS {
+		// A BFS replica's memory also holds the protocol log and the
+		// copy-on-write checkpoint pages — under write-heavy load a large
+		// fraction of dirty state is held twice — so its effective page
+		// cache is smaller than the unreplicated servers'. This is why the
+		// paper's Andrew500 (which does not fit in memory) shows a larger
+		// BFS overhead (+22%) than Andrew100 (+14%).
+		profile.Disk.MemoryBytes = cache * 5 / 8
+	}
+
+	work := &fsWorkNode{start: runner.Start}
+
+	switch system {
+	case SystemBFS:
+		const n = 4
+		rng := rand.New(rand.NewSource(3)) //nolint:gosec // deterministic simulation
+		tables := make([]*crypto.KeyTable, n+1)
+		for i := range tables {
+			tables[i] = crypto.NewKeyTable(i)
+		}
+		if err := crypto.ProvisionAll(rng, tables); err != nil {
+			panic(fmt.Sprintf("bench: provisioning keys: %v", err))
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			s.AddMeteredNode(func(m crypto.Meter) proc.Handler {
+				cfg := core.DefaultConfig(n, i)
+				cfg.CheckpointSnapshots = false
+				rep, err := core.NewReplica(cfg, bfs.NewService(profile), tables[i], m, nil)
+				if err != nil {
+					panic(fmt.Sprintf("bench: replica %d: %v", i, err))
+				}
+				return rep
+			})
+		}
+		s.AddMeteredNode(func(m crypto.Meter) proc.Handler {
+			ccfg := core.ClientConfig{
+				N:                 n,
+				Self:              n,
+				Opts:              core.AllOptimizations(),
+				InlineThreshold:   core.DefaultConfig(n, 0).InlineThreshold,
+				RetransmitTimeout: 300 * time.Millisecond,
+			}
+			cl, err := core.NewClient(ccfg, tables[n], m)
+			if err != nil {
+				panic(fmt.Sprintf("bench: client: %v", err))
+			}
+			work.inner = cl
+			work.fsc = fsAdapter{submit: func(op []byte, readOnly bool, done func([]byte)) {
+				cl.Submit(op, readOnly, done)
+			}}
+			return work
+		})
+	case SystemNoRep, SystemNFSSTD:
+		s.AddNode(norep.NewServer(bfs.NewService(profile)))
+		cl := norep.NewClient(1, 0, 0)
+		work.inner = cl
+		work.fsc = fsAdapter{submit: func(op []byte, readOnly bool, done func([]byte)) {
+			cl.Submit(op, func(result []byte, lost bool) { done(result) })
+		}}
+		s.AddNode(work)
+	default:
+		panic(fmt.Sprintf("bench: unknown system %v", system))
+	}
+
+	// Run in slices until the workload signals completion.
+	const slice = 30 * time.Second
+	limit := slice
+	s.Run(limit)
+	for !work.Done {
+		limit += slice
+		if limit > 6*time.Hour {
+			panic("bench: file-system workload did not terminate")
+		}
+		s.Resume(limit)
+	}
+	return FSRunResult{System: system, Elapsed: work.EndAt, Ops: runner.Ops()}
+}
+
+// Figure8 runs the scaled modified Andrew benchmark on BFS, NO-REP and
+// NFS-STD — the paper's Figure 8 — for each copy count (the paper uses 100
+// and 500). The second table breaks elapsed time down by benchmark phase,
+// like the paper's stacked bars.
+func Figure8(copyCounts []int) *Table {
+	t, _ := Figure8WithPhases(copyCounts)
+	return t
+}
+
+// Figure8WithPhases returns Figure 8 plus the per-phase breakdown.
+func Figure8WithPhases(copyCounts []int) (totals, phases *Table) {
+	totals = &Table{
+		Title:  "Figure 8: modified Andrew benchmark, elapsed time (scaled copies)",
+		Header: []string{"benchmark", "bfs_s", "norep_s", "nfsstd_s", "bfs/norep", "bfs/nfsstd"},
+	}
+	phases = &Table{
+		Title:  "Figure 8 (phases): per-phase elapsed seconds",
+		Header: []string{"benchmark", "system", "mkdir", "copy", "stat", "read", "compile"},
+	}
+	for _, copies := range copyCounts {
+		elapsed := make(map[FSSystem]time.Duration, 3)
+		for _, sys := range []FSSystem{SystemBFS, SystemNoRep, SystemNFSSTD} {
+			runner := workload.NewAndrew(ScaledAndrew(copies))
+			res := RunFS(sys, runner, CacheBytes)
+			elapsed[sys] = res.Elapsed
+			row := []string{fmt.Sprintf("Andrew%d", copies), sys.String()}
+			for _, d := range runner.PhaseTime {
+				row = append(row, fmt.Sprintf("%.1f", d.Seconds()))
+			}
+			phases.Rows = append(phases.Rows, row)
+		}
+		totals.Rows = append(totals.Rows, []string{
+			fmt.Sprintf("Andrew%d", copies),
+			fmt.Sprintf("%.1f", elapsed[SystemBFS].Seconds()),
+			fmt.Sprintf("%.1f", elapsed[SystemNoRep].Seconds()),
+			fmt.Sprintf("%.1f", elapsed[SystemNFSSTD].Seconds()),
+			ratio(elapsed[SystemBFS], elapsed[SystemNoRep]),
+			ratio(elapsed[SystemBFS], elapsed[SystemNFSSTD]),
+		})
+	}
+	return totals, phases
+}
+
+// Figure9 runs PostMark on the three systems — the paper's Figure 9 —
+// reporting transactions per second.
+func Figure9(cfg workload.PostMarkConfig) *Table {
+	t := &Table{
+		Title:  "Figure 9: PostMark, transactions per second",
+		Header: []string{"system", "tx_per_s", "elapsed_s"},
+	}
+	type row struct {
+		sys FSSystem
+		tps float64
+		el  time.Duration
+	}
+	var rows []row
+	for _, sys := range []FSSystem{SystemBFS, SystemNoRep, SystemNFSSTD} {
+		runner := workload.NewPostMark(cfg)
+		res := RunFS(sys, runner, CacheBytes)
+		tps := 0.0
+		if runner.Elapsed > 0 {
+			tps = float64(runner.Transactions()) / runner.Elapsed.Seconds()
+		}
+		rows = append(rows, row{sys, tps, res.Elapsed})
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.sys.String(), fmt.Sprintf("%.0f", r.tps), fmt.Sprintf("%.1f", r.el.Seconds()),
+		})
+	}
+	return t
+}

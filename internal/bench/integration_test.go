@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bftfast/internal/bfs"
+	"bftfast/internal/core"
+	"bftfast/internal/crypto"
+	"bftfast/internal/proc"
+	"bftfast/internal/sim"
+	"bftfast/internal/workload"
+)
+
+// TestBFSReplicasConvergeUnderPostMark runs the PostMark workload through a
+// full simulated BFT group and checks that all four replicas' file systems
+// end bit-identical — the replication invariant under a realistic service.
+func TestBFSReplicasConvergeUnderPostMark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := workload.DefaultPostMark()
+	cfg.InitialFiles = 60
+	cfg.Transactions = 300
+
+	s := sim.New(sim.DefaultCostModel(), 11)
+	const n = 4
+	rng := rand.New(rand.NewSource(11)) //nolint:gosec // deterministic simulation
+	tables := make([]*crypto.KeyTable, n+1)
+	for i := range tables {
+		tables[i] = crypto.NewKeyTable(i)
+	}
+	if err := crypto.ProvisionAll(rng, tables); err != nil {
+		t.Fatal(err)
+	}
+	services := make([]*bfs.Service, n)
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.AddMeteredNode(func(m crypto.Meter) proc.Handler {
+			rcfg := core.DefaultConfig(n, i)
+			rcfg.CheckpointSnapshots = false
+			services[i] = bfs.NewService(bfs.BFSProfile())
+			rep, err := core.NewReplica(rcfg, services[i], tables[i], m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replicas[i] = rep
+			return rep
+		})
+	}
+	runner := workload.NewPostMark(cfg)
+	work := &fsWorkNode{start: runner.Start}
+	s.AddMeteredNode(func(m crypto.Meter) proc.Handler {
+		ccfg := core.ClientConfig{
+			N: n, Self: n, Opts: core.AllOptimizations(),
+			InlineThreshold:   core.DefaultConfig(n, 0).InlineThreshold,
+			RetransmitTimeout: 300 * time.Millisecond,
+		}
+		cl, err := core.NewClient(ccfg, tables[n], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work.inner = cl
+		work.fsc = fsAdapter{submit: func(op []byte, readOnly bool, done func([]byte)) {
+			cl.Submit(op, readOnly, done)
+		}}
+		return work
+	})
+
+	limit := 30 * time.Second
+	s.Run(limit)
+	for !work.Done && limit < 10*time.Minute {
+		limit += 30 * time.Second
+		s.Resume(limit)
+	}
+	if !work.Done {
+		t.Fatal("PostMark did not finish on the replicated service")
+	}
+	if runner.Errors() != 0 {
+		t.Fatalf("%d operation errors", runner.Errors())
+	}
+
+	// Let the tail of the pipeline settle, then compare state digests of
+	// all replicas that are fully caught up.
+	s.Resume(limit + 5*time.Second)
+	base := services[0].StateDigest()
+	caughtUp := 0
+	for i := 1; i < n; i++ {
+		if replicas[i].LastExecuted() == replicas[0].LastExecuted() {
+			caughtUp++
+			if services[i].StateDigest() != base {
+				t.Fatalf("replica %d file system diverged from replica 0", i)
+			}
+		}
+	}
+	if caughtUp < 2 {
+		t.Fatalf("only %d replicas caught up with replica 0", caughtUp+1)
+	}
+	// And the ordering made real progress.
+	if replicas[0].LastExecuted() < int64(cfg.Transactions) {
+		t.Fatalf("replica 0 executed only %d batches for %d transactions",
+			replicas[0].LastExecuted(), cfg.Transactions)
+	}
+}

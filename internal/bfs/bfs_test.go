@@ -1,0 +1,138 @@
+package bfs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bftfast/internal/disk"
+	"bftfast/internal/fs"
+	"bftfast/internal/proc"
+)
+
+// chargeRecorder captures Charge calls.
+type chargeRecorder struct {
+	total time.Duration
+}
+
+var _ proc.Env = (*chargeRecorder)(nil)
+
+func (c *chargeRecorder) Now() time.Duration          { return 0 }
+func (c *chargeRecorder) Charge(d time.Duration)      { c.total += d }
+func (c *chargeRecorder) Send(int, []byte)            {}
+func (c *chargeRecorder) Multicast([]int, []byte)     {}
+func (c *chargeRecorder) SetTimer(int, time.Duration) {}
+func (c *chargeRecorder) CancelTimer(int)             {}
+
+func TestServiceExecutesOps(t *testing.T) {
+	s := NewService(CostProfile{})
+	res := s.Execute(1, fs.CreateOp(fs.RootHandle, "f"), false)
+	a, st, err := fs.ParseAttrResult(res)
+	if err != nil || st != fs.OK {
+		t.Fatalf("create: %v %v", st, err)
+	}
+	s.Execute(1, fs.WriteOp(a.Handle, 0, []byte("data")), false)
+	res = s.Execute(1, fs.ReadOp(a.Handle, 0, 4), true)
+	data, st, err := fs.ParseReadResult(res)
+	if err != nil || st != fs.OK || string(data) != "data" {
+		t.Fatalf("read: %q %v %v", data, st, err)
+	}
+}
+
+func TestServiceRefusesMutationsOnReadOnlyPath(t *testing.T) {
+	s := NewService(CostProfile{})
+	before := s.StateDigest()
+	res := s.Execute(1, fs.CreateOp(fs.RootHandle, "evil"), true)
+	if st, err := fs.ParseStatusResult(res); err != nil || st != fs.ErrInval {
+		t.Fatalf("mutating read-only op = %v %v, want ErrInval", st, err)
+	}
+	if s.StateDigest() != before {
+		t.Fatal("read-only path mutated state")
+	}
+}
+
+func TestBackgroundDiskAbsorbsSparseChurn(t *testing.T) {
+	// Ext2fs-style server: occasional metadata ops ride the async disk
+	// queue without stalling the server (the Andrew case).
+	prof := NFSSTDProfile()
+	rec := &chargeRecorder{}
+	s := NewService(prof)
+	s.SetEnv(rec)
+	s.Execute(1, fs.CreateOp(fs.RootHandle, "f"), false)
+	if rec.total > prof.PerOp*2 {
+		t.Fatalf("sparse create stalled the server for %v", rec.total)
+	}
+}
+
+func TestBackgroundDiskThrottlesSustainedChurn(t *testing.T) {
+	// Sustained scattered removes exceed the dirty threshold and the
+	// server stalls at disk speed (the PostMark case).
+	prof := NFSSTDProfile()
+	rec := &chargeRecorder{}
+	s := NewService(prof)
+	s.SetEnv(rec)
+	for i := 0; i < 200; i++ {
+		s.Execute(1, fs.CreateOp(fs.RootHandle, fmt.Sprintf("f%d", i)), false)
+	}
+	rec.total = 0
+	for i := 0; i < 100; i++ {
+		s.Execute(1, fs.RemoveOp(fs.RootHandle, fmt.Sprintf("f%d", i)), false)
+	}
+	// 100 removes x ScatterWork of queued disk work minus the backlog
+	// allowance must have been charged to the server.
+	minStall := 100*prof.ScatterWork - 2*prof.MaxBacklog
+	if rec.total < minStall {
+		t.Fatalf("sustained removes charged %v, want >= %v (disk-bound)", rec.total, minStall)
+	}
+
+	// The memory-backed profile never touches the disk for the same churn.
+	recBFS := &chargeRecorder{}
+	sBFS := NewService(BFSProfile())
+	sBFS.SetEnv(recBFS)
+	for i := 0; i < 200; i++ {
+		sBFS.Execute(1, fs.CreateOp(fs.RootHandle, fmt.Sprintf("f%d", i)), false)
+	}
+	if recBFS.total > 200*2*BFSProfile().PerOp {
+		t.Fatalf("memory-backed churn charged %v", recBFS.total)
+	}
+}
+
+func TestSpillChargesOnlyBeyondMemory(t *testing.T) {
+	prof := BFSProfile()
+	prof.Disk = disk.Model{Seek: time.Millisecond, BytesPerSec: 1e6, MemoryBytes: 10_000}
+	rec := &chargeRecorder{}
+	s := NewService(prof)
+	s.SetEnv(rec)
+	res := s.Execute(1, fs.CreateOp(fs.RootHandle, "big"), false)
+	a, _, err := fs.ParseAttrResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First write fits in memory: no seek-scale charges.
+	rec.total = 0
+	s.Execute(1, fs.WriteOp(a.Handle, 0, make([]byte, 5000)), false)
+	if rec.total >= prof.Disk.Seek {
+		t.Fatalf("in-memory write charged %v", rec.total)
+	}
+	// Grow past the cache: writes now pay disk costs.
+	s.Execute(1, fs.WriteOp(a.Handle, 5000, make([]byte, 20_000)), false)
+	rec.total = 0
+	s.Execute(1, fs.WriteOp(a.Handle, 0, make([]byte, 5000)), false)
+	if rec.total < prof.Disk.Seek/2 {
+		t.Fatalf("spilled write charged only %v", rec.total)
+	}
+}
+
+func TestServiceSnapshotRestore(t *testing.T) {
+	s := NewService(CostProfile{})
+	s.Execute(1, fs.CreateOp(fs.RootHandle, "f"), false)
+	d := s.StateDigest()
+	snap := s.Snapshot()
+	s2 := NewService(CostProfile{})
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.StateDigest() != d {
+		t.Fatal("digest mismatch after restore")
+	}
+}

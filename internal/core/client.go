@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+	"bftfast/internal/proc"
+)
+
+// Client timer keys.
+const timerClientRetransmit = 1
+
+// ClientConfig parameterizes a Client engine.
+type ClientConfig struct {
+	// N is the replica group size; replicas occupy node ids [0, N).
+	N int
+	// Self is this client's node id (outside [0, N)).
+	Self int
+	// Opts mirrors the replica group's optimization settings; the client
+	// needs DigestReplies (to designate repliers), ReadOnly (to multicast
+	// reads), and SeparateRequests/InlineThreshold (to multicast large
+	// request bodies).
+	Opts Options
+	// InlineThreshold must match the replicas' configuration.
+	InlineThreshold int
+	// RetransmitTimeout is the initial request retransmission timeout; it
+	// doubles on each retry up to 8x.
+	RetransmitTimeout time.Duration
+	// TimestampBase seeds the client's monotonically increasing request
+	// timestamps. Short-lived client processes reusing one identity must
+	// seed it from a clock (the replicas deduplicate by timestamp);
+	// long-lived engines and deterministic simulations leave it zero.
+	TimestampBase int64
+}
+
+// ClientStats exposes client-side protocol counters.
+type ClientStats struct {
+	Completed   int64
+	Retransmits int64
+	Rejected    int64 // replies that failed authentication or matching
+}
+
+// replyVote is one replica's (latest) opinion about the pending request.
+type replyVote struct {
+	resultD   crypto.Digest
+	tentative bool
+	view      int64
+}
+
+// pendingOp is the client's single outstanding request.
+type pendingOp struct {
+	op        []byte
+	readOnly  bool // as declared by the caller
+	asRW      bool // read-only op retried through the read-write path
+	timestamp int64
+	replier   int32
+	votes     map[int32]replyVote
+	fullBody  map[crypto.Digest][]byte // verified full results by digest
+	timeout   time.Duration
+	retries   int
+	sentAt    time.Duration
+	done      func(result []byte)
+}
+
+// Client is the BFT client engine: it authenticates requests to the
+// replica group, collects reply certificates (f+1 matching committed
+// replies, 2f+1 matching tentative or read-only replies), validates
+// digest replies against the designated replica's full result, and
+// retransmits — demanding full replies from everyone — when progress
+// stalls. Like the paper's library it runs one operation at a time;
+// callers queue further operations until the callback fires.
+type Client struct {
+	cfg   ClientConfig
+	suite *crypto.Suite
+	env   proc.Env
+
+	view  int64
+	ts    int64
+	cur   *pendingOp
+	queue []*pendingOp
+
+	// jitterState drives retransmission-timeout jitter (deterministic per
+	// client) so a population of clients that lost requests in the same
+	// burst does not retransmit in a synchronized wave forever.
+	jitterState uint64
+
+	// srtt is a smoothed estimate of operation latency. The retransmission
+	// timeout adapts to it (never below the configured floor): with a
+	// fixed timeout, any load level whose queueing delay exceeds the
+	// timeout makes every client duplicate every request, which sustains
+	// the overload — congestion collapse.
+	srtt time.Duration
+
+	stats ClientStats
+}
+
+// jitter returns a deterministic pseudo-random duration in [-d/4, d/4).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.jitterState = c.jitterState*6364136223846793005 + 1442695040888963407
+	span := int64(d) / 2
+	if span <= 0 {
+		return 0
+	}
+	return time.Duration(int64(c.jitterState>>16)%span - span/2)
+}
+
+var _ proc.Handler = (*Client)(nil)
+
+// NewClient builds a client engine. The key table must contain pairwise
+// keys with every replica.
+func NewClient(cfg ClientConfig, keys *crypto.KeyTable, meter crypto.Meter) (*Client, error) {
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("core: client of %d replicas; need at least 4", cfg.N)
+	}
+	if cfg.Self >= 0 && cfg.Self < cfg.N {
+		return nil, fmt.Errorf("core: client id %d collides with replica ids [0, %d)", cfg.Self, cfg.N)
+	}
+	if keys.Self() != cfg.Self {
+		return nil, fmt.Errorf("core: key table owner %d != client id %d", keys.Self(), cfg.Self)
+	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 150 * time.Millisecond
+	}
+	return &Client{
+		cfg:         cfg,
+		suite:       crypto.NewSuite(keys, meter),
+		ts:          cfg.TimestampBase,
+		jitterState: uint64(cfg.Self)*0x9e3779b97f4a7c15 + 1,
+	}, nil
+}
+
+// Stats returns a copy of the client's counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Init implements proc.Handler.
+func (c *Client) Init(env proc.Env) { c.env = env }
+
+// Submit queues an operation for execution; done fires with the result
+// once a reply certificate is assembled. Submit must be called from the
+// engine's event context (Init, a timer, a reply callback, or before the
+// environment starts).
+func (c *Client) Submit(op []byte, readOnly bool, done func(result []byte)) {
+	p := &pendingOp{op: op, readOnly: readOnly, done: done}
+	if c.cur != nil {
+		c.queue = append(c.queue, p)
+		return
+	}
+	c.cur = p
+	c.begin(p)
+}
+
+// Busy reports whether an operation is outstanding.
+func (c *Client) Busy() bool { return c.cur != nil }
+
+func (c *Client) begin(p *pendingOp) {
+	c.ts++
+	p.timestamp = c.ts
+	p.votes = make(map[int32]replyVote)
+	p.fullBody = make(map[crypto.Digest][]byte)
+	p.timeout = c.cfg.RetransmitTimeout
+	if adaptive := 4 * c.srtt; adaptive > p.timeout {
+		p.timeout = adaptive
+	}
+	p.sentAt = c.env.Now()
+	p.replier = message.AllReplicas
+	if c.cfg.Opts.DigestReplies {
+		// Rotate the designated full-replier for load balancing.
+		p.replier = int32(c.ts % int64(c.cfg.N))
+	}
+	c.transmit(p, false)
+	c.env.SetTimer(timerClientRetransmit, p.timeout+c.jitter(p.timeout))
+}
+
+// transmit sends (or resends) the pending request. Retransmissions demand
+// full replies from every replica and go to the whole group.
+func (c *Client) transmit(p *pendingOp, retransmit bool) {
+	req := &message.Request{
+		Client:    int32(c.cfg.Self),
+		Timestamp: p.timestamp,
+		ReadOnly:  p.readOnly && !p.asRW && c.cfg.Opts.ReadOnly,
+		Replier:   p.replier,
+		Op:        p.op,
+	}
+	if retransmit {
+		req.Replier = message.AllReplicas
+	}
+	d := req.ContentDigest(c.suite)
+	req.Auth = c.suite.Auth(c.cfg.N, d[:])
+	raw := message.Marshal(req)
+
+	all := make([]int, c.cfg.N)
+	for i := range all {
+		all[i] = i
+	}
+	switch {
+	case retransmit, req.ReadOnly:
+		// Read-only requests go everywhere by design; retransmissions go
+		// everywhere to route around a faulty primary or replier.
+		c.env.Multicast(all, raw)
+	case c.cfg.Opts.SeparateRequests && len(raw) > c.cfg.InlineThreshold:
+		// Separate request transmission: all replicas receive and
+		// authenticate the body in parallel; the pre-prepare will carry
+		// only its digest.
+		c.env.Multicast(all, raw)
+	default:
+		c.env.Send(c.primary(), raw)
+	}
+}
+
+// primary is the client's current primary guess from the views reported in
+// accepted replies.
+func (c *Client) primary() int { return int(c.view % int64(c.cfg.N)) }
+
+// Receive implements proc.Handler.
+func (c *Client) Receive(data []byte) {
+	m, err := message.Unmarshal(data)
+	if err != nil {
+		c.stats.Rejected++
+		return
+	}
+	rep, ok := m.(*message.Reply)
+	if !ok {
+		c.stats.Rejected++
+		return
+	}
+	c.onReply(rep)
+}
+
+func (c *Client) onReply(rep *message.Reply) {
+	p := c.cur
+	if p == nil || rep.Timestamp != p.timestamp || int(rep.Client) != c.cfg.Self {
+		return
+	}
+	sender := int(rep.Replica)
+	if sender < 0 || sender >= c.cfg.N {
+		c.stats.Rejected++
+		return
+	}
+	if !c.suite.VerifyMAC(sender, rep.MAC, rep.AuthContent()) {
+		c.stats.Rejected++
+		return
+	}
+	if rep.Full {
+		// Validate the full body against its digest once; a lying replier
+		// cannot make a forged body match the group's digest votes.
+		if c.suite.Digest(rep.Result) != rep.ResultD {
+			c.stats.Rejected++
+			return
+		}
+		p.fullBody[rep.ResultD] = rep.Result
+	}
+	prev, seen := p.votes[rep.Replica]
+	if seen && prev.resultD == rep.ResultD && !prev.tentative {
+		return // nothing new
+	}
+	p.votes[rep.Replica] = replyVote{resultD: rep.ResultD, tentative: rep.Tentative, view: rep.View}
+	c.checkCertificate(p)
+}
+
+// checkCertificate assembles the reply certificate: f+1 matching committed
+// replies for ordinary operations, or 2f+1 matching replies (tentative
+// counts) — always 2f+1 for the read-only fast path, which never commits.
+func (c *Client) checkCertificate(p *pendingOp) {
+	f := (c.cfg.N - 1) / 3
+	type tally struct {
+		committed int
+		total     int
+		maxView   int64
+	}
+	counts := make(map[crypto.Digest]*tally)
+	for _, v := range p.votes {
+		t := counts[v.resultD]
+		if t == nil {
+			t = &tally{}
+			counts[v.resultD] = t
+		}
+		t.total++
+		if !v.tentative {
+			t.committed++
+		}
+		if v.view > t.maxView {
+			t.maxView = v.view
+		}
+	}
+	readFast := p.readOnly && !p.asRW && c.cfg.Opts.ReadOnly
+	for d, t := range counts {
+		ok := t.total >= 2*f+1 || (!readFast && t.committed >= f+1)
+		if !ok {
+			continue
+		}
+		body, have := p.fullBody[d]
+		if !have {
+			continue // certificate ready but full result still in flight
+		}
+		c.env.CancelTimer(timerClientRetransmit)
+		if t.maxView > c.view {
+			c.view = t.maxView
+		}
+		if sample := c.env.Now() - p.sentAt; sample > 0 {
+			if c.srtt == 0 {
+				c.srtt = sample
+			} else {
+				c.srtt = (7*c.srtt + sample) / 8
+			}
+		}
+		c.stats.Completed++
+		c.cur = nil
+		done := p.done
+		if len(c.queue) > 0 {
+			next := c.queue[0]
+			c.queue = c.queue[1:]
+			c.cur = next
+			c.begin(next)
+		}
+		if done != nil {
+			done(body)
+		}
+		return
+	}
+}
+
+// OnTimer implements proc.Handler: retransmission with exponential backoff;
+// a timed-out read-only request is reissued through the read-write path
+// (the paper's fallback for reads racing concurrent writes).
+func (c *Client) OnTimer(key int) {
+	if key != timerClientRetransmit || c.cur == nil {
+		return
+	}
+	p := c.cur
+	c.stats.Retransmits++
+	p.retries++
+	if p.readOnly && !p.asRW && c.cfg.Opts.ReadOnly {
+		// Fall back to the ordered path with a fresh timestamp.
+		p.asRW = true
+		c.ts++
+		p.timestamp = c.ts
+		p.votes = make(map[int32]replyVote)
+		p.fullBody = make(map[crypto.Digest][]byte)
+	}
+	c.transmit(p, true)
+	if p.timeout < 8*c.cfg.RetransmitTimeout {
+		p.timeout *= 2
+	}
+	c.env.SetTimer(timerClientRetransmit, p.timeout+c.jitter(p.timeout))
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+	"bftfast/internal/proc"
+)
+
+// Counters exposes replica progress for benchmarks and tests.
+type Counters struct {
+	ExecutedRequests  int64
+	ExecutedReadOnly  int64
+	ExecutedBatches   int64
+	StableCheckpoints int64
+	ViewChanges       int64
+	StateTransfers    int64
+	Divergences       int64 // own checkpoint digest contradicted by a quorum
+	DroppedMessages   int64 // failed authentication or malformed
+}
+
+// clientRecord implements at-most-once execution and reply retransmission
+// for one client.
+type clientRecord struct {
+	lastTimestamp int64
+	lastReply     *message.Reply // stored with the full result; Full/MAC set per resend
+	lastReplySeq  int64          // batch that produced it (for tentative upgrades)
+}
+
+// heldReply is a read-only reply waiting for the tentative prefix it
+// observed to commit.
+type heldReply struct {
+	frontier int64 // lastExec at execution time
+	client   int32
+	reply    *message.Reply
+}
+
+// bufferedRequest is an authenticated request body awaiting ordering.
+type bufferedRequest struct {
+	req     *message.Request
+	raw     []byte
+	digest  crypto.Digest
+	relayed bool
+}
+
+// Replica is one member of the BFT replica group. It is a single-threaded
+// engine (see internal/proc): the environment serializes all calls.
+type Replica struct {
+	cfg   Config
+	env   proc.Env
+	suite *crypto.Suite
+	sm    StateMachine
+	rng   io.Reader
+
+	view          int64
+	inViewChange  bool
+	vcTimeout     time.Duration
+	vcTimerArmed  bool
+	statusStarted bool
+
+	lastPP            int64 // primary: sequence number of the last pre-prepare sent
+	lastExec          int64 // last executed batch (tentative included)
+	lastCommittedExec int64
+	lastStable        int64
+	stableDigest      crypto.Digest
+
+	log         map[int64]*slot
+	missingBody map[crypto.Digest][]int64 // request digest -> slots waiting for it
+
+	clients   map[int32]*clientRecord
+	reqBuffer map[crypto.Digest]*bufferedRequest
+	inFlight  map[crypto.Digest]int64 // request digest -> assigned seq
+	queue     []crypto.Digest         // primary's pending request queue
+
+	checkpoints map[int64]map[int32]crypto.Digest
+	snapshots   map[int64][]byte
+
+	pendingRO      []heldReply
+	pendingCommits []message.CommitRef // piggyback buffer
+
+	// View change state (see viewchange.go).
+	pset        map[int64]message.PQEntry
+	qset        map[int64]message.PQEntry
+	vcs         map[int64]map[int32]*vcRecord
+	pendingAcks map[int64]map[int32]map[int32]crypto.Digest // view -> origin -> acker -> vc digest
+	pendingNV   *message.NewView
+	lastNewView *message.NewView      // for retransmission as new primary
+	lastNVVCs   []*message.ViewChange // the VCs referenced by lastNewView
+
+	// State transfer (see transfer.go).
+	st       *stateTransfer
+	stChunks map[int64]*chunkedSnapshot
+
+	epoch          int64
+	knownStable    int64 // highest quorum-attested checkpoint seen anywhere
+	statusTicks    int64
+	lastStatusMark [3]int64 // (view, lastExec, lastCommittedExec) at the previous status tick
+
+	stats Counters
+}
+
+// vcRecord tracks one replica's view-change message for some view and the
+// acks corroborating it.
+type vcRecord struct {
+	vc     *message.ViewChange
+	raw    []byte
+	digest crypto.Digest
+	acks   map[int32]bool
+}
+
+// NewReplica builds a replica engine. keys must be pre-provisioned with
+// pairwise session and master keys (crypto.ProvisionAll) or be populated by
+// new-key exchange before traffic flows. rng provides randomness for key
+// rotation and may be nil when rotation is disabled.
+func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto.Meter, rng io.Reader) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sm == nil {
+		return nil, fmt.Errorf("core: replica %d: nil state machine", cfg.Self)
+	}
+	if keys.Self() != cfg.Self {
+		return nil, fmt.Errorf("core: key table owner %d != replica id %d", keys.Self(), cfg.Self)
+	}
+	if cfg.KeyRotationInterval > 0 && rng == nil {
+		return nil, fmt.Errorf("core: replica %d: key rotation enabled without a randomness source", cfg.Self)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(cfg.Self) + 1)) //nolint:gosec // unused unless rotation is on
+	}
+	return &Replica{
+		cfg:   cfg,
+		suite: crypto.NewSuite(keys, meter),
+		sm:    sm,
+		rng:   rng,
+		// Bootstrap provisioning installs keys at epoch 1; rotations must
+		// supersede it.
+		epoch:       1,
+		vcTimeout:   cfg.ViewChangeTimeout,
+		log:         make(map[int64]*slot),
+		missingBody: make(map[crypto.Digest][]int64),
+		clients:     make(map[int32]*clientRecord),
+		reqBuffer:   make(map[crypto.Digest]*bufferedRequest),
+		inFlight:    make(map[crypto.Digest]int64),
+		checkpoints: make(map[int64]map[int32]crypto.Digest),
+		snapshots:   make(map[int64][]byte),
+		pset:        make(map[int64]message.PQEntry),
+		qset:        make(map[int64]message.PQEntry),
+		vcs:         make(map[int64]map[int32]*vcRecord),
+		pendingAcks: make(map[int64]map[int32]map[int32]crypto.Digest),
+		stChunks:    make(map[int64]*chunkedSnapshot),
+	}, nil
+}
+
+// Stats returns a copy of the replica's progress counters.
+func (r *Replica) Stats() Counters { return r.stats }
+
+// View returns the replica's current view.
+func (r *Replica) View() int64 { return r.view }
+
+// LastExecuted returns the last executed batch sequence number.
+func (r *Replica) LastExecuted() int64 { return r.lastExec }
+
+// StateMachine returns the replicated service instance (for inspection in
+// tests and examples).
+func (r *Replica) StateMachine() StateMachine { return r.sm }
+
+// isPrimary reports whether this replica is the primary of its view.
+func (r *Replica) isPrimary() bool { return r.cfg.PrimaryOf(r.view) == r.cfg.Self }
+
+// otherReplicas lists every replica id except this one.
+func (r *Replica) otherReplicas() []int {
+	out := make([]int, 0, r.cfg.N-1)
+	for i := 0; i < r.cfg.N; i++ {
+		if i != r.cfg.Self {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Init implements proc.Handler.
+func (r *Replica) Init(env proc.Env) {
+	r.env = env
+	if aware, ok := r.sm.(EnvAware); ok {
+		aware.SetEnv(env)
+	}
+	if r.cfg.CheckpointSnapshots {
+		r.snapshots[0] = r.encodeSnapshot()
+	}
+	r.stableDigest = r.checkpointDigest()
+	if r.cfg.StatusInterval > 0 {
+		env.SetTimer(timerStatus, r.cfg.StatusInterval)
+	}
+	if r.cfg.KeyRotationInterval > 0 {
+		env.SetTimer(timerKeyRotation, r.cfg.KeyRotationInterval)
+	}
+	if r.cfg.RecoveryInterval > 0 {
+		// Stagger the first firing by the replica id so the group never
+		// recovers more than one replica at a time.
+		stagger := r.cfg.RecoveryInterval / time.Duration(r.cfg.N)
+		env.SetTimer(timerRecovery, r.cfg.RecoveryInterval+stagger*time.Duration(r.cfg.Self))
+	}
+}
+
+// Receive implements proc.Handler.
+func (r *Replica) Receive(data []byte) {
+	m, err := message.Unmarshal(data)
+	if err != nil {
+		r.stats.DroppedMessages++
+		return
+	}
+	switch msg := m.(type) {
+	case *message.Request:
+		r.onRequest(msg, data)
+	case *message.PrePrepare:
+		r.onPrePrepare(msg)
+	case *message.Prepare:
+		r.onPrepare(msg)
+	case *message.Commit:
+		r.onCommit(msg)
+	case *message.Checkpoint:
+		r.onCheckpoint(msg)
+	case *message.ViewChange:
+		r.onViewChange(msg, data)
+	case *message.ViewChangeAck:
+		r.onViewChangeAck(msg)
+	case *message.NewView:
+		r.onNewView(msg)
+	case *message.NewKey:
+		r.onNewKey(msg)
+	case *message.Status:
+		r.onStatus(msg)
+	case *message.Fetch:
+		r.onFetch(msg)
+	case *message.Meta:
+		r.onMeta(msg)
+	case *message.Fragment:
+		r.onFragment(msg)
+	case *message.Recovery:
+		r.onRecovery(msg)
+	default:
+		r.stats.DroppedMessages++
+	}
+}
+
+// OnTimer implements proc.Handler.
+func (r *Replica) OnTimer(key int) {
+	switch key {
+	case timerViewChange:
+		r.vcTimerArmed = false
+		r.startViewChange(r.view + 1)
+	case timerStatus:
+		r.statusTick()
+	case timerKeyRotation:
+		r.rotateKeys()
+		r.env.SetTimer(timerKeyRotation, r.cfg.KeyRotationInterval)
+	case timerCommitFlush:
+		r.flushPiggybackCommits()
+	case timerRecovery:
+		r.startRecovery()
+		if r.cfg.RecoveryInterval > 0 {
+			r.env.SetTimer(timerRecovery, r.cfg.RecoveryInterval)
+		}
+	}
+}
+
+// send marshals and unicasts m.
+func (r *Replica) send(dst int, m message.Message) {
+	r.env.Send(dst, message.Marshal(m))
+}
+
+// broadcast marshals and multicasts m to all other replicas.
+func (r *Replica) broadcast(m message.Message) {
+	r.env.Multicast(r.otherReplicas(), message.Marshal(m))
+}
+
+// getSlot returns the log slot for seq, creating it if needed.
+func (r *Replica) getSlot(seq int64) *slot {
+	s := r.log[seq]
+	if s == nil {
+		s = newSlot(seq)
+		r.log[seq] = s
+	}
+	return s
+}
+
+// inWindow reports whether seq is inside the water marks.
+func (r *Replica) inWindow(seq int64) bool {
+	return seq > r.lastStable && seq <= r.lastStable+r.cfg.LogWindow
+}
+
+// requestWaiting reports whether any authenticated read-write request is
+// known but not yet executed — buffered bodies, or batches accepted into
+// the log that have not committed. This is the condition that keeps the
+// view-change timer armed.
+func (r *Replica) requestWaiting() bool {
+	if len(r.reqBuffer) > 0 {
+		return true
+	}
+	for n, s := range r.log {
+		if n > r.lastCommittedExec && s.havePP && !s.committed {
+			return true
+		}
+	}
+	return false
+}
+
+// syncVCTimer arms or cancels the liveness timer according to whether the
+// replica is waiting for requests to execute. restart forces a re-arm after
+// execution progress so slow-but-live primaries are not suspected.
+func (r *Replica) syncVCTimer(restart bool) {
+	if r.inViewChange {
+		return // the view-change path manages its own timer
+	}
+	waiting := r.requestWaiting()
+	switch {
+	case waiting && (!r.vcTimerArmed || restart):
+		r.env.SetTimer(timerViewChange, r.vcTimeout)
+		r.vcTimerArmed = true
+	case !waiting && r.vcTimerArmed:
+		r.env.CancelTimer(timerViewChange)
+		r.vcTimerArmed = false
+	}
+}
+
+// DebugString summarizes internal progress state (used by development
+// tooling; not part of the stable API).
+func (r *Replica) DebugString() string {
+	missing := 0
+	unresolved := 0
+	for _, s := range r.log {
+		if s.missing > 0 {
+			missing++
+		}
+		if s.havePP && !s.resolved() {
+			unresolved++
+		}
+	}
+	return fmt.Sprintf("{pp=%d exec=%d comm=%d stable=%d queue=%d buf=%d inflight=%d slotsMissing=%d unres=%d}",
+		r.lastPP, r.lastExec, r.lastCommittedExec, r.lastStable, len(r.queue), len(r.reqBuffer), len(r.inFlight), missing, unresolved)
+}

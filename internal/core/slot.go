@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+)
+
+// slot tracks one sequence number of the message log: the accepted
+// pre-prepare (batch), the prepare/commit quorums, and execution progress.
+// Slots live between the low water mark (last stable checkpoint) and the
+// high water mark, and are garbage collected when a later checkpoint
+// becomes stable.
+type slot struct {
+	seq  int64
+	view int64 // view of the accepted pre-prepare
+
+	havePP       bool
+	batchDigest  crypto.Digest
+	reqDigests   []crypto.Digest
+	requests     []*message.Request // parallel to reqDigests; nil while missing
+	missing      int                // unresolved request bodies
+	null         bool               // null batch installed by a new-view
+	unknownBatch bool               // new-view chose a digest we never saw; fetching
+
+	// The primary's authenticator and piggybacked commits are retained so
+	// the pre-prepare can be retransmitted verbatim to lagging peers.
+	ppAuth    crypto.Authenticator
+	ppCommits []message.CommitRef
+
+	// prepares and commits are keyed by batch digest first so equivocating
+	// replicas cannot poison the quorum for the accepted digest; inner maps
+	// are keyed by replica id.
+	prepares map[crypto.Digest]map[int32]bool
+	commits  map[crypto.Digest]map[int32]bool
+
+	sentPrepare bool
+	sentCommit  bool
+	prepared    bool
+	committed   bool
+	executed    bool // tentatively or after commit
+}
+
+func newSlot(seq int64) *slot {
+	return &slot{
+		seq:      seq,
+		prepares: make(map[crypto.Digest]map[int32]bool),
+		commits:  make(map[crypto.Digest]map[int32]bool),
+	}
+}
+
+// addPrepare records a prepare from replica for digest d; it reports
+// whether the vote is new.
+func (s *slot) addPrepare(d crypto.Digest, replica int32) bool {
+	set := s.prepares[d]
+	if set == nil {
+		set = make(map[int32]bool)
+		s.prepares[d] = set
+	}
+	if set[replica] {
+		return false
+	}
+	set[replica] = true
+	return true
+}
+
+// addCommit records a commit from replica for digest d; it reports whether
+// the vote is new.
+func (s *slot) addCommit(d crypto.Digest, replica int32) bool {
+	set := s.commits[d]
+	if set == nil {
+		set = make(map[int32]bool)
+		s.commits[d] = set
+	}
+	if set[replica] {
+		return false
+	}
+	set[replica] = true
+	return true
+}
+
+// resolved reports whether all request bodies of the batch are available
+// (always true for null batches).
+func (s *slot) resolved() bool {
+	return s.havePP && s.missing == 0 && !s.unknownBatch
+}
+
+// checkPrepared evaluates the prepared predicate for replica self in a
+// group tolerating f faults: an accepted pre-prepare plus 2f matching
+// prepares from distinct replicas other than the pre-prepare's primary.
+// The replica's own prepare counts (it is inserted into the set when sent).
+func (s *slot) checkPrepared(f int) bool {
+	if s.prepared {
+		return true
+	}
+	if !s.havePP {
+		return false
+	}
+	if len(s.prepares[s.batchDigest]) >= 2*f {
+		s.prepared = true
+	}
+	return s.prepared
+}
+
+// checkCommitted evaluates the committed predicate: prepared plus 2f+1
+// commits from distinct replicas (including this one).
+func (s *slot) checkCommitted(f int) bool {
+	if s.committed {
+		return true
+	}
+	if !s.prepared {
+		return false
+	}
+	if len(s.commits[s.batchDigest]) >= 2*f+1 {
+		s.committed = true
+	}
+	return s.committed
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bftfast/internal/crypto"
+	"bftfast/internal/proc"
+)
+
+// StateMachine is the deterministic service replicated by the protocol.
+// All replicas must produce identical results and state digests when they
+// execute the same operations in the same order; any nondeterminism (time,
+// randomness, map iteration order) must be resolved before reaching the
+// state machine.
+type StateMachine interface {
+	// Execute applies op on behalf of client and returns the result.
+	// readOnly is true only for operations the service itself declares
+	// read-only; implementations must not mutate state when it is set.
+	Execute(client int32, op []byte, readOnly bool) []byte
+
+	// StateDigest returns a digest of the current service state. It is
+	// compared across replicas at every checkpoint, so it must be a
+	// deterministic function of state — and it should be cheap
+	// (incrementally maintained), since it runs every CheckpointInterval
+	// batches. The paper's library achieved this with copy-on-write pages
+	// and hierarchical digests.
+	StateDigest() crypto.Digest
+
+	// Snapshot serializes the full service state, for state transfer to
+	// lagging replicas and rollback of tentative execution across view
+	// changes.
+	Snapshot() []byte
+
+	// Restore replaces the service state from a Snapshot serialization.
+	Restore(snap []byte) error
+}
+
+// EnvAware is implemented by state machines that model execution cost (or
+// need timers/time); the replica hands them its environment before any
+// Execute call.
+type EnvAware interface {
+	SetEnv(env proc.Env)
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+)
+
+// statusHelpLimit caps how many sequence numbers one status response
+// retransmits, so catch-up traffic stays bounded per status period.
+const statusHelpLimit = 8
+
+// idleStatusPeriod is how many status intervals may pass between the
+// unconditional "I'm alive" status beacons of a healthy replica.
+const idleStatusPeriod = 10
+
+// statusTick runs the periodic retransmission protocol: when this replica
+// is waiting for something it broadcasts its status so peers can resend
+// what it is missing, and it retries any stalled state transfer.
+//
+// The period is jittered per replica and per tick: retransmissions from a
+// fixed phase can land in the same loss window every time (client bursts
+// under overload are themselves roughly periodic), so a phase-locked
+// retransmitter can stall indefinitely on one lost message.
+func (r *Replica) statusTick() {
+	defer func() {
+		jitter := time.Duration((uint64(r.cfg.Self+1)*uint64(r.statusTicks+1)*2654435761)>>16) %
+			(r.cfg.StatusInterval / 2)
+		r.env.SetTimer(timerStatus, 3*r.cfg.StatusInterval/4+jitter)
+	}()
+
+	if r.st != nil {
+		// Retry the stalled phase of the state transfer.
+		if r.st.meta == nil {
+			r.sendFetch(0, 0)
+		} else {
+			for i, frag := range r.st.frags {
+				if frag == nil {
+					r.sendFetch(1, int64(i))
+				}
+			}
+		}
+	}
+	// Even a healthy idle replica announces itself occasionally so that a
+	// healed partition (or a freshly recovered peer) discovers how far the
+	// group has moved without waiting for client traffic.
+	r.statusTicks++
+	idleBeacon := r.statusTicks%idleStatusPeriod == 0
+	if !r.stuck() && !idleBeacon {
+		return
+	}
+	if r.inViewChange {
+		// Make sure our view-change is out there; a primary that already
+		// formed a new view re-multicasts it (with its evidence) instead.
+		if rec := r.vcs[r.view][int32(r.cfg.Self)]; rec != nil {
+			r.env.Multicast(r.otherReplicas(), rec.raw)
+		}
+	}
+	if r.lastNewView != nil && r.lastNewView.View == r.view && r.cfg.PrimaryOf(r.view) == r.cfg.Self {
+		for _, vc := range r.lastNVVCs {
+			r.broadcast(vc)
+		}
+		r.broadcast(r.lastNewView)
+	}
+	s := &message.Status{
+		View:         r.view,
+		InViewChange: r.inViewChange,
+		LastStable:   r.lastStable,
+		LastExec:     r.lastCommittedExec,
+		Replica:      int32(r.cfg.Self),
+	}
+	s.Auth = r.suite.Auth(r.cfg.N, s.AuthContent())
+	r.broadcast(s)
+	// Re-fetch bodies for any new-view batches still unknown.
+	for n, slot := range r.log {
+		if slot.unknownBatch {
+			r.fetchBatch(n)
+		}
+	}
+	// Re-multicast our own prepare/commit votes for stalled batches: if
+	// everyone lost a different subset of the quorum's votes, nobody is
+	// "ahead" enough for the lag-based retransmission above to fire, and
+	// only resending votes breaks the symmetry.
+	if !r.inViewChange {
+		resent := 0
+		for n, s := range r.log {
+			if n <= r.lastCommittedExec || !s.resolved() || s.committed || resent >= statusHelpLimit {
+				continue
+			}
+			resent++
+			if s.sentPrepare {
+				prep := &message.Prepare{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
+				prep.Auth = r.suite.Auth(r.cfg.N, message.OrderContentWithCommits(prep.View, prep.Seq, prep.Digest, nil))
+				r.broadcast(prep)
+			}
+			if s.sentCommit {
+				c := &message.Commit{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
+				c.Auth = r.suite.Auth(r.cfg.N, message.OrderContent(c.View, c.Seq, c.Digest))
+				r.broadcast(c)
+			}
+			if r.isPrimary() {
+				r.retransmitSlotToAll(s)
+			}
+		}
+	}
+}
+
+// retransmitSlotToAll re-multicasts the primary's own pre-prepare with the
+// batch bodies inlined, for a stalled batch. Large batches are chunked so
+// no message outgrows a UDP datagram or socket buffer; each chunk carries
+// the full ref list (digests for bodies it does not inline), so every
+// chunk authenticates against the same batch digest.
+func (r *Replica) retransmitSlotToAll(s *slot) {
+	for _, pp := range r.rebuildPrePrepares(s) {
+		r.broadcast(pp)
+	}
+}
+
+// retransmitChunkBudget bounds the inline payload of one recovery
+// pre-prepare (well under the 64 KB datagram limit).
+const retransmitChunkBudget = 40 << 10
+
+// rebuildPrePrepares reconstructs authenticated pre-prepare messages for a
+// resolved slot, inlining every body across as many chunks as needed.
+func (r *Replica) rebuildPrePrepares(s *slot) []*message.PrePrepare {
+	auth := s.ppAuth
+	if auth == nil {
+		// We proposed this batch; authenticate the retransmission fresh.
+		content := message.OrderContentWithCommits(s.view, s.seq, s.batchDigest, s.ppCommits)
+		auth = r.suite.Auth(r.cfg.N, content)
+	}
+	var out []*message.PrePrepare
+	next := 0
+	for next < len(s.requests) || next == 0 {
+		refs := make([]message.RequestRef, len(s.requests))
+		for i := range refs {
+			refs[i] = message.RequestRef{Digest: s.reqDigests[i]}
+		}
+		budget := retransmitChunkBudget
+		progressed := false
+		for ; next < len(s.requests); next++ {
+			raw := message.Marshal(s.requests[next])
+			if progressed && len(raw) > budget {
+				break
+			}
+			refs[next].Inline = raw
+			refs[next].Digest = crypto.Digest{}
+			budget -= len(raw)
+			progressed = true
+		}
+		out = append(out, &message.PrePrepare{
+			View: s.view, Seq: s.seq, Refs: refs, Commits: s.ppCommits, Auth: auth,
+		})
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// stuck reports whether this replica is waiting on remote progress AND has
+// made none since the previous status tick — transient pipeline states
+// (a tentative batch awaiting its commits under load) must not trigger
+// retransmission storms.
+func (r *Replica) stuck() bool {
+	mark := [3]int64{r.view, r.lastExec, r.lastCommittedExec}
+	progressed := mark != r.lastStatusMark
+	r.lastStatusMark = mark
+	if progressed {
+		return false
+	}
+	if r.inViewChange || r.pendingNV != nil || r.st != nil {
+		return true
+	}
+	if r.knownStable > r.lastCommittedExec {
+		// The group checkpointed past us and we have stopped closing the
+		// gap: the messages we need were likely garbage collected.
+		r.beginStateTransfer(r.knownStable)
+		return true
+	}
+	if r.lastExec > r.lastCommittedExec {
+		return true // tentative batch stalled before committing
+	}
+	if len(r.missingBody) > 0 {
+		return true
+	}
+	for _, s := range r.log {
+		if s.seq <= r.lastExec {
+			continue
+		}
+		if s.havePP && !s.committed {
+			return true
+		}
+	}
+	return false
+}
+
+// latestOwnCheckpointAbove returns the highest sequence number above seq
+// for which this replica has recorded its own checkpoint vote (0 if none).
+func (r *Replica) latestOwnCheckpointAbove(seq int64) int64 {
+	best := int64(0)
+	for n, votes := range r.checkpoints {
+		if n > seq && n > best {
+			if _, ok := votes[int32(r.cfg.Self)]; ok {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// onStatus helps a peer catch up based on its self-reported progress, and
+// notices when the peer is ahead of us instead.
+func (r *Replica) onStatus(s *message.Status) {
+	sender := int(s.Replica)
+	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self {
+		return
+	}
+	if !r.suite.VerifyAuth(sender, s.Auth, s.AuthContent()) {
+		r.stats.DroppedMessages++
+		return
+	}
+
+	// The peer is ahead: if it garbage collected what we still need, fetch
+	// state instead of waiting for messages that will never come.
+	if s.LastStable > r.lastStable && r.lastCommittedExec < s.LastStable {
+		r.beginStateTransfer(s.LastStable)
+	}
+
+	// The peer's stable checkpoint trails a checkpoint we have voted for:
+	// resend our latest vote above its water mark. This both feeds the
+	// f+1 attestation a state transfer needs and revives stability when
+	// the original checkpoint broadcasts were lost group-wide (otherwise
+	// the log window would jam permanently once h+L filled).
+	if own := r.latestOwnCheckpointAbove(s.LastStable); own > 0 {
+		ck := &message.Checkpoint{Seq: own, StateD: r.checkpoints[own][int32(r.cfg.Self)], Replica: int32(r.cfg.Self)}
+		ck.Auth = r.suite.Auth(r.cfg.N, ck.AuthContent())
+		r.send(sender, ck)
+	}
+
+	// The peer lags a view: replay the evidence that got us here.
+	if s.View < r.view || (s.InViewChange && s.View == r.view && !r.inViewChange) {
+		if r.lastNewView != nil && r.lastNewView.View == r.view {
+			for _, vc := range r.lastNVVCs {
+				r.send(sender, vc)
+			}
+			r.send(sender, r.lastNewView)
+		} else if rec := r.vcs[r.view][int32(r.cfg.Self)]; rec != nil {
+			r.env.Send(sender, rec.raw)
+		}
+		if s.View < r.view {
+			return
+		}
+	}
+
+	// Same view, both changing: resend our view-change, and our acks if
+	// the peer is the (possibly late-joining) new primary.
+	if s.InViewChange && s.View == r.view && r.inViewChange {
+		if rec := r.vcs[r.view][int32(r.cfg.Self)]; rec != nil {
+			r.env.Send(sender, rec.raw)
+		}
+		if sender == r.cfg.PrimaryOf(r.view) {
+			for origin, rec := range r.vcs[r.view] {
+				if int(origin) != r.cfg.Self {
+					r.sendViewChangeAck(origin, rec.digest)
+				}
+			}
+		}
+		return
+	}
+
+	// Normal-case catch-up: retransmit the ordering evidence for batches
+	// the peer has not executed, a bounded number per tick.
+	if s.View != r.view || r.inViewChange || s.LastExec >= r.lastCommittedExec {
+		return
+	}
+	seqs := make([]int64, 0, statusHelpLimit)
+	for n := range r.log {
+		if n > s.LastExec && n <= r.lastCommittedExec && n > s.LastStable {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	if len(seqs) > statusHelpLimit {
+		seqs = seqs[:statusHelpLimit]
+	}
+	for _, n := range seqs {
+		r.retransmitSlot(sender, r.log[n])
+	}
+}
+
+// retransmitSlot resends the full ordering evidence this replica holds for
+// one batch: the primary's pre-prepare with every request inlined (chunked
+// to datagram-sized messages), plus a freshly authenticated prepare (if we
+// are a backup) and commit.
+func (r *Replica) retransmitSlot(dst int, s *slot) {
+	if s == nil || !s.resolved() {
+		return
+	}
+	for _, pp := range r.rebuildPrePrepares(s) {
+		r.send(dst, pp)
+	}
+
+	if s.sentPrepare {
+		prep := &message.Prepare{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
+		prep.Auth = r.suite.Auth(r.cfg.N, message.OrderContentWithCommits(prep.View, prep.Seq, prep.Digest, nil))
+		r.send(dst, prep)
+	}
+	if s.sentCommit {
+		c := &message.Commit{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
+		c.Auth = r.suite.Auth(r.cfg.N, message.OrderContent(c.View, c.Seq, c.Digest))
+		r.send(dst, c)
+	}
+}

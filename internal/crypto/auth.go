@@ -1,0 +1,64 @@
+package crypto
+
+// Authenticator is a vector of MACs appended to a multicast protocol
+// message: one entry per receiving replica, each computed under the
+// pairwise session key for that receiver. A receiver verifies only its own
+// entry, so authenticating a message for n replicas costs n cheap symmetric
+// operations for the sender and one for each receiver — the key reason the
+// BFT library outperforms signature-based predecessors.
+//
+// The entry for the sender itself is left as the zero MAC and never
+// verified.
+type Authenticator []MAC
+
+// AuthenticatorFor computes an authenticator for the given content from
+// sender to every replica in [0, n). Replicas for which no outbound key is
+// known (including the sender itself) get a zero entry; correct receivers
+// will reject those, triggering retransmission after key exchange completes.
+func AuthenticatorFor(t *KeyTable, n int, content ...[]byte) Authenticator {
+	a := make(Authenticator, n)
+	for j := 0; j < n; j++ {
+		if j == t.Self() {
+			continue
+		}
+		if k, ok := t.Outbound(j); ok {
+			a[j] = ComputeMAC(k, content...)
+		}
+	}
+	return a
+}
+
+// VerifyEntry checks the receiver's own entry of an authenticator produced
+// by sender. It returns false if the authenticator is too short, no inbound
+// key is known for the sender, or the MAC does not verify.
+func VerifyEntry(t *KeyTable, sender int, a Authenticator, content ...[]byte) bool {
+	if t.Self() >= len(a) || sender == t.Self() {
+		return false
+	}
+	k, ok := t.Inbound(sender)
+	if !ok {
+		return false
+	}
+	return VerifyMAC(k, a[t.Self()], content...)
+}
+
+// SingleMAC computes a point-to-point MAC from the holder of t to receiver.
+// It is used for messages with a single destination (requests to one
+// replica, replies to a client). The second result is false when no key is
+// available yet.
+func SingleMAC(t *KeyTable, receiver int, content ...[]byte) (MAC, bool) {
+	k, ok := t.Outbound(receiver)
+	if !ok {
+		return MAC{}, false
+	}
+	return ComputeMAC(k, content...), true
+}
+
+// VerifySingle checks a point-to-point MAC from sender to the holder of t.
+func VerifySingle(t *KeyTable, sender int, tag MAC, content ...[]byte) bool {
+	k, ok := t.Inbound(sender)
+	if !ok {
+		return false
+	}
+	return VerifyMAC(k, tag, content...)
+}

@@ -1,0 +1,56 @@
+// Package disk models the storage hierarchy of the paper's testbed — a
+// Quantum Atlas 10K disk behind a 512 MB page cache — deterministically,
+// so simulated file-service benchmarks reproduce the paper's memory-fit
+// effects: Andrew100 (~200 MB) fits in memory, Andrew500 (~1 GB) does not,
+// and PostMark punishes servers that write metadata synchronously.
+package disk
+
+import "time"
+
+// Model describes one disk plus the page cache in front of it.
+type Model struct {
+	// Seek is the average positioning time (seek + rotational latency).
+	Seek time.Duration
+	// BytesPerSec is the sustained media transfer rate.
+	BytesPerSec float64
+	// MemoryBytes is the page-cache budget; data beyond it spills.
+	MemoryBytes int64
+}
+
+// Atlas10K returns the paper's disk (Quantum Atlas 10K, 10k rpm) behind
+// the workstation's 512 MB of RAM (minus space for the OS and server).
+func Atlas10K() Model {
+	return Model{
+		Seek:        5 * time.Millisecond,
+		BytesPerSec: 18e6,
+		MemoryBytes: 400 << 20,
+	}
+}
+
+// Transfer returns the media time to move n bytes.
+func (m Model) Transfer(n int64) time.Duration {
+	if n <= 0 || m.BytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.BytesPerSec * float64(time.Second))
+}
+
+// MissRatio returns the fraction of accesses that go to the platter when
+// resident data of the given size is accessed uniformly.
+func (m Model) MissRatio(dataBytes int64) float64 {
+	if dataBytes <= m.MemoryBytes || dataBytes == 0 {
+		return 0
+	}
+	return float64(dataBytes-m.MemoryBytes) / float64(dataBytes)
+}
+
+// SpillAccess returns the average cost of accessing n bytes given the
+// cache miss ratio for the current resident size: a fraction of accesses
+// pay a seek plus the media transfer.
+func (m Model) SpillAccess(n, dataBytes int64) time.Duration {
+	miss := m.MissRatio(dataBytes)
+	if miss == 0 {
+		return 0
+	}
+	return time.Duration(miss * float64(m.Seek+m.Transfer(n)))
+}

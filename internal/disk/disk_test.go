@@ -1,0 +1,63 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferScalesLinearly(t *testing.T) {
+	m := Model{BytesPerSec: 1e6}
+	if got := m.Transfer(1e6); got != time.Second {
+		t.Fatalf("Transfer(1MB at 1MB/s) = %v, want 1s", got)
+	}
+	if got := m.Transfer(5e5); got != 500*time.Millisecond {
+		t.Fatalf("Transfer(0.5MB) = %v, want 500ms", got)
+	}
+	if m.Transfer(0) != 0 || m.Transfer(-5) != 0 {
+		t.Fatal("degenerate transfers not zero")
+	}
+	if (Model{}).Transfer(100) != 0 {
+		t.Fatal("zero-rate model must cost nothing (disabled)")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	m := Model{MemoryBytes: 100}
+	if m.MissRatio(50) != 0 {
+		t.Fatal("data within memory must not miss")
+	}
+	if m.MissRatio(100) != 0 {
+		t.Fatal("data exactly at memory must not miss")
+	}
+	if got := m.MissRatio(200); got != 0.5 {
+		t.Fatalf("MissRatio(200 of 100) = %v, want 0.5", got)
+	}
+	if got := m.MissRatio(400); got != 0.75 {
+		t.Fatalf("MissRatio(400 of 100) = %v, want 0.75", got)
+	}
+	if m.MissRatio(0) != 0 {
+		t.Fatal("empty data must not miss")
+	}
+}
+
+func TestSpillAccess(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, BytesPerSec: 1e6, MemoryBytes: 100}
+	if m.SpillAccess(1000, 50) != 0 {
+		t.Fatal("in-memory access must be free")
+	}
+	// 50% miss of (10ms seek + 1ms transfer).
+	if got := m.SpillAccess(1000, 200); got != 5500*time.Microsecond {
+		t.Fatalf("SpillAccess = %v, want 5.5ms", got)
+	}
+}
+
+func TestAtlas10KSane(t *testing.T) {
+	m := Atlas10K()
+	if m.Seek <= 0 || m.BytesPerSec <= 0 || m.MemoryBytes <= 0 {
+		t.Fatalf("implausible disk model: %+v", m)
+	}
+	// A 4 KB transfer takes far less than a seek on a real disk.
+	if m.Transfer(4096) >= m.Seek {
+		t.Fatal("transfer of one page should be cheaper than a seek")
+	}
+}

@@ -1,0 +1,482 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicFileLifecycle(t *testing.T) {
+	f := New()
+	a, st := f.Create(RootHandle, "hello.txt")
+	if st != OK {
+		t.Fatalf("create: %v", st)
+	}
+	if _, st := f.Write(a.Handle, 0, []byte("hello world")); st != OK {
+		t.Fatalf("write: %v", st)
+	}
+	data, st := f.Read(a.Handle, 0, 100)
+	if st != OK || string(data) != "hello world" {
+		t.Fatalf("read = %q (%v)", data, st)
+	}
+	got, st := f.Lookup(RootHandle, "hello.txt")
+	if st != OK || got.Handle != a.Handle || got.Size != 11 {
+		t.Fatalf("lookup = %+v (%v)", got, st)
+	}
+	if st := f.Remove(RootHandle, "hello.txt"); st != OK {
+		t.Fatalf("remove: %v", st)
+	}
+	if _, st := f.Lookup(RootHandle, "hello.txt"); st != ErrNoEnt {
+		t.Fatalf("lookup after remove = %v, want ErrNoEnt", st)
+	}
+	if f.DataBytes() != 0 {
+		t.Fatalf("DataBytes = %d after remove, want 0", f.DataBytes())
+	}
+}
+
+func TestDirectoryOperations(t *testing.T) {
+	f := New()
+	d, st := f.Mkdir(RootHandle, "src")
+	if st != OK {
+		t.Fatalf("mkdir: %v", st)
+	}
+	if _, st := f.Create(d.Handle, "main.go"); st != OK {
+		t.Fatalf("create in subdir: %v", st)
+	}
+	if st := f.Rmdir(RootHandle, "src"); st != ErrNotEmpty {
+		t.Fatalf("rmdir non-empty = %v, want ErrNotEmpty", st)
+	}
+	if st := f.Remove(d.Handle, "main.go"); st != OK {
+		t.Fatalf("remove: %v", st)
+	}
+	if st := f.Rmdir(RootHandle, "src"); st != OK {
+		t.Fatalf("rmdir: %v", st)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	f := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, st := f.Create(RootHandle, name); st != OK {
+			t.Fatalf("create %s: %v", name, st)
+		}
+	}
+	entries, st := f.ReadDir(RootHandle)
+	if st != OK || len(entries) != 3 {
+		t.Fatalf("readdir: %v, %d entries", st, len(entries))
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, e := range entries {
+		if e.Name != want[i] {
+			t.Fatalf("entry %d = %q, want %q (must be sorted for determinism)", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	f := New()
+	file, _ := f.Create(RootHandle, "f")
+	if _, st := f.Lookup(file.Handle, "x"); st != ErrNotDir {
+		t.Fatalf("lookup in file = %v", st)
+	}
+	if _, st := f.Create(RootHandle, "f"); st != ErrExist {
+		t.Fatalf("duplicate create = %v", st)
+	}
+	if _, st := f.Write(RootHandle, 0, []byte("x")); st != ErrIsDir {
+		t.Fatalf("write to dir = %v", st)
+	}
+	if _, st := f.Read(999, 0, 1); st != ErrStale {
+		t.Fatalf("read stale = %v", st)
+	}
+	if _, st := f.Write(file.Handle, -1, []byte("x")); st != ErrInval {
+		t.Fatalf("negative offset = %v", st)
+	}
+	if st := f.Remove(RootHandle, "nope"); st != ErrNoEnt {
+		t.Fatalf("remove missing = %v", st)
+	}
+	if _, st := f.Create(RootHandle, ""); st != ErrInval {
+		t.Fatalf("empty name = %v", st)
+	}
+}
+
+func TestSparseWriteAndTruncate(t *testing.T) {
+	f := New()
+	a, _ := f.Create(RootHandle, "sparse")
+	if _, st := f.Write(a.Handle, 10000, []byte("tail")); st != OK {
+		t.Fatalf("sparse write: %v", st)
+	}
+	got, _ := f.GetAttr(a.Handle)
+	if got.Size != 10004 {
+		t.Fatalf("size = %d, want 10004", got.Size)
+	}
+	data, _ := f.Read(a.Handle, 0, 4)
+	if !bytes.Equal(data, []byte{0, 0, 0, 0}) {
+		t.Fatalf("hole read = %v, want zeros", data)
+	}
+	if _, st := f.Truncate(a.Handle, 3); st != OK {
+		t.Fatal("truncate failed")
+	}
+	got, _ = f.GetAttr(a.Handle)
+	if got.Size != 3 {
+		t.Fatalf("size after truncate = %d", got.Size)
+	}
+	if f.DataBytes() != 3 {
+		t.Fatalf("DataBytes = %d, want 3", f.DataBytes())
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	f := New()
+	a, _ := f.Create(RootHandle, "a")
+	if _, st := f.Write(a.Handle, 0, []byte("AAA")); st != OK {
+		t.Fatal("write a")
+	}
+	b, _ := f.Create(RootHandle, "b")
+	if _, st := f.Write(b.Handle, 0, []byte("B")); st != OK {
+		t.Fatal("write b")
+	}
+	if st := f.Rename(RootHandle, "a", RootHandle, "b"); st != OK {
+		t.Fatalf("rename: %v", st)
+	}
+	got, st := f.Lookup(RootHandle, "b")
+	if st != OK || got.Handle != a.Handle {
+		t.Fatalf("b now = %+v, want a's inode", got)
+	}
+	if _, st := f.Lookup(RootHandle, "a"); st != ErrNoEnt {
+		t.Fatal("a still present after rename")
+	}
+	if f.DataBytes() != 3 {
+		t.Fatalf("DataBytes = %d after replace, want 3", f.DataBytes())
+	}
+}
+
+func TestDigestDetectsEveryMutation(t *testing.T) {
+	f := New()
+	seen := map[[16]byte]int{f.Digest(): 0}
+	step := 1
+	record := func(what string) {
+		if prev, dup := seen[f.Digest()]; dup {
+			t.Fatalf("digest after %s (step %d) collides with step %d", what, step, prev)
+		}
+		seen[f.Digest()] = step
+		step++
+	}
+	a, _ := f.Create(RootHandle, "f")
+	record("create")
+	if _, st := f.Write(a.Handle, 0, []byte("v1")); st != OK {
+		t.Fatal("write")
+	}
+	record("write")
+	if _, st := f.Write(a.Handle, 0, []byte("v2")); st != OK {
+		t.Fatal("overwrite")
+	}
+	record("overwrite")
+	if _, st := f.Mkdir(RootHandle, "d"); st != OK {
+		t.Fatal("mkdir")
+	}
+	record("mkdir")
+	if st := f.Rename(RootHandle, "f", RootHandle, "g"); st != OK {
+		t.Fatal("rename")
+	}
+	record("rename")
+	if st := f.Remove(RootHandle, "g"); st != OK {
+		t.Fatal("remove")
+	}
+	record("remove")
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	f := randomFS(t, 500, 99)
+	snap := f.Snapshot()
+	g := New()
+	if err := g.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if g.Digest() != f.Digest() {
+		t.Fatal("digest changed across snapshot/restore")
+	}
+	if g.DataBytes() != f.DataBytes() {
+		t.Fatalf("DataBytes %d != %d", g.DataBytes(), f.DataBytes())
+	}
+	// Restored FS must continue deterministically: apply the same op to
+	// both and compare.
+	op := WriteOp(RootHandle+1, 0, []byte("post-restore"))
+	if !bytes.Equal(f.Apply(op), g.Apply(op)) {
+		t.Fatal("results diverge after restore")
+	}
+	if g.Digest() != f.Digest() {
+		t.Fatal("digests diverge after post-restore op")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	f := randomFS(t, 50, 3)
+	snap := f.Snapshot()
+	for cut := 0; cut < len(snap); cut += 7 {
+		g := New()
+		if err := g.Restore(snap[:cut]); err == nil {
+			t.Fatalf("restore accepted a %d-byte prefix", cut)
+		}
+	}
+	if err := New().Restore(append(snap, 0)); err == nil {
+		t.Fatal("restore accepted trailing garbage")
+	}
+}
+
+// randomFS builds a file system with n random operations.
+func randomFS(t *testing.T, n int, seed int64) *FS {
+	t.Helper()
+	f := New()
+	rng := rand.New(rand.NewSource(seed)) //nolint:gosec
+	handles := []uint64{RootHandle}
+	files := []uint64{}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			a, st := f.Create(RootHandle, fmt.Sprintf("file%d", i))
+			if st == OK {
+				files = append(files, a.Handle)
+			}
+		case 1:
+			if _, st := f.Mkdir(RootHandle, fmt.Sprintf("dir%d", i)); st != OK && st != ErrExist {
+				t.Fatalf("mkdir: %v", st)
+			}
+		case 2, 3:
+			if len(files) > 0 {
+				h := files[rng.Intn(len(files))]
+				buf := make([]byte, rng.Intn(3*BlockSize))
+				rng.Read(buf)
+				if _, st := f.Write(h, int64(rng.Intn(2*BlockSize)), buf); st != OK {
+					t.Fatalf("write: %v", st)
+				}
+			}
+		case 4:
+			if len(files) > 1 {
+				h := files[rng.Intn(len(files))]
+				if _, st := f.Truncate(h, int64(rng.Intn(BlockSize))); st != OK {
+					t.Fatalf("truncate: %v", st)
+				}
+			}
+		}
+	}
+	_ = handles
+	return f
+}
+
+// TestIncrementalDigestMatchesRebuild verifies the XOR-folded incremental
+// digest equals the digest of a fresh FS restored from the same state —
+// i.e. the incremental bookkeeping never drifts from ground truth.
+func TestIncrementalDigestMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		f := randomFS(t, 300, seed)
+		g := New()
+		if err := g.Restore(f.Snapshot()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if f.Digest() != g.Digest() {
+			t.Fatalf("seed %d: incremental digest drifted from rebuilt digest", seed)
+		}
+	}
+}
+
+// TestDeterministicReplay applies an identical random op stream to two
+// instances and requires identical digests at every step — the property
+// replication correctness rests on.
+func TestDeterministicReplay(t *testing.T) {
+	ops := randomOpStream(400, 7)
+	a, b := New(), New()
+	for i, op := range ops {
+		ra, rb := a.Apply(op), b.Apply(op)
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("op %d: results diverge", i)
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("op %d: digests diverge", i)
+		}
+	}
+}
+
+// randomOpStream generates encoded operations, including invalid ones
+// (replicas must handle them deterministically too).
+func randomOpStream(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed)) //nolint:gosec
+	ops := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		h := uint64(rng.Intn(20)) // often dangling
+		name := fmt.Sprintf("n%d", rng.Intn(30))
+		switch rng.Intn(10) {
+		case 0:
+			ops = append(ops, CreateOp(h, name))
+		case 1:
+			ops = append(ops, MkdirOp(h, name))
+		case 2, 3:
+			buf := make([]byte, rng.Intn(2000))
+			rng.Read(buf)
+			ops = append(ops, WriteOp(h, int64(rng.Intn(5000)), buf))
+		case 4:
+			ops = append(ops, ReadOp(h, int64(rng.Intn(5000)), int64(rng.Intn(4000))))
+		case 5:
+			ops = append(ops, RemoveOp(h, name))
+		case 6:
+			ops = append(ops, RenameOp(h, name, uint64(rng.Intn(20)), fmt.Sprintf("m%d", rng.Intn(30))))
+		case 7:
+			ops = append(ops, ReadDirOp(h))
+		case 8:
+			ops = append(ops, TruncateOp(h, int64(rng.Intn(3000))))
+		case 9:
+			junk := make([]byte, rng.Intn(40))
+			rng.Read(junk)
+			ops = append(ops, junk)
+		}
+	}
+	return ops
+}
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	f := New()
+	res := f.Apply(CreateOp(RootHandle, "x"))
+	a, st, err := ParseAttrResult(res)
+	if err != nil || st != OK {
+		t.Fatalf("create result: %v %v", st, err)
+	}
+	res = f.Apply(WriteOp(a.Handle, 0, []byte("payload")))
+	if wa, st, err := ParseAttrResult(res); err != nil || st != OK || wa.Size != 7 {
+		t.Fatalf("write result: %+v %v %v", wa, st, err)
+	}
+	res = f.Apply(ReadOp(a.Handle, 0, 7))
+	data, st, err := ParseReadResult(res)
+	if err != nil || st != OK || string(data) != "payload" {
+		t.Fatalf("read result: %q %v %v", data, st, err)
+	}
+	res = f.Apply(ReadDirOp(RootHandle))
+	entries, st, err := ParseReadDirResult(res)
+	if err != nil || st != OK || len(entries) != 1 || entries[0].Name != "x" {
+		t.Fatalf("readdir result: %+v %v %v", entries, st, err)
+	}
+	res = f.Apply(RemoveOp(RootHandle, "x"))
+	if st, err := ParseStatusResult(res); err != nil || st != OK {
+		t.Fatalf("remove result: %v %v", st, err)
+	}
+}
+
+func TestIsReadOnlyClassification(t *testing.T) {
+	ro := [][]byte{LookupOp(1, "x"), GetAttrOp(1), ReadOp(1, 0, 10), ReadDirOp(1)}
+	rw := [][]byte{CreateOp(1, "x"), MkdirOp(1, "x"), WriteOp(1, 0, nil),
+		TruncateOp(1, 0), RemoveOp(1, "x"), RmdirOp(1, "x"), RenameOp(1, "a", 1, "b"), nil}
+	for _, op := range ro {
+		if !IsReadOnly(op) {
+			t.Fatalf("op %v should be read-only", op[0])
+		}
+	}
+	for _, op := range rw {
+		if IsReadOnly(op) {
+			t.Fatalf("op %v should not be read-only", op)
+		}
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	f := New()
+	a, _ := f.Create(RootHandle, "bench")
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := f.Write(a.Handle, int64(i%256)*4096, buf); st != OK {
+			b.Fatal(st)
+		}
+	}
+}
+
+func BenchmarkDigestMaintenance(b *testing.B) {
+	f := randomFS(&testing.T{}, 200, 1)
+	a, _ := f.Create(RootHandle, "hot")
+	buf := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := f.Write(a.Handle, 0, buf); st != OK {
+			b.Fatal(st)
+		}
+		_ = f.Digest()
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	f := New()
+	file, _ := f.Create(RootHandle, "real")
+	link, st := f.Symlink(RootHandle, "ln", "real")
+	if st != OK {
+		t.Fatalf("symlink: %v", st)
+	}
+	if !link.IsSymlink || link.Size != 4 {
+		t.Fatalf("symlink attr = %+v", link)
+	}
+	target, st := f.ReadLink(link.Handle)
+	if st != OK || target != "real" {
+		t.Fatalf("readlink = %q (%v)", target, st)
+	}
+	// Symlinks are not files: data ops must be refused.
+	if _, st := f.Write(link.Handle, 0, []byte("x")); st != ErrInval {
+		t.Fatalf("write to symlink = %v", st)
+	}
+	if _, st := f.Read(link.Handle, 0, 4); st != ErrInval {
+		t.Fatalf("read of symlink = %v", st)
+	}
+	if _, st := f.Truncate(link.Handle, 0); st != ErrInval {
+		t.Fatalf("truncate of symlink = %v", st)
+	}
+	// ReadLink of a regular file is invalid; of a missing handle, stale.
+	if _, st := f.ReadLink(file.Handle); st != ErrInval {
+		t.Fatalf("readlink of file = %v", st)
+	}
+	if _, st := f.ReadLink(999); st != ErrStale {
+		t.Fatalf("readlink stale = %v", st)
+	}
+	// Duplicates and empties rejected.
+	if _, st := f.Symlink(RootHandle, "ln", "elsewhere"); st != ErrExist {
+		t.Fatalf("duplicate symlink = %v", st)
+	}
+	if _, st := f.Symlink(RootHandle, "", "x"); st != ErrInval {
+		t.Fatalf("empty name = %v", st)
+	}
+	// Symlinks can be removed like files.
+	if st := f.Remove(RootHandle, "ln"); st != OK {
+		t.Fatalf("remove symlink = %v", st)
+	}
+}
+
+func TestSymlinkOpsCodecAndSnapshot(t *testing.T) {
+	f := New()
+	res := f.Apply(SymlinkOp(RootHandle, "ln", "target/path"))
+	a, st, err := ParseAttrResult(res)
+	if err != nil || st != OK || !a.IsSymlink {
+		t.Fatalf("symlink op: %+v %v %v", a, st, err)
+	}
+	res = f.Apply(ReadLinkOp(a.Handle))
+	data, st, err := ParseReadResult(res)
+	if err != nil || st != OK || string(data) != "target/path" {
+		t.Fatalf("readlink op: %q %v %v", data, st, err)
+	}
+	if !IsReadOnly(ReadLinkOp(a.Handle)) || IsReadOnly(SymlinkOp(1, "a", "b")) {
+		t.Fatal("read-only classification wrong for symlink ops")
+	}
+	// Digest must distinguish a symlink from a file with the same bytes.
+	g := New()
+	g.Apply(CreateOp(RootHandle, "ln"))
+	g.Apply(WriteOp(2, 0, []byte("target/path")))
+	if f.Digest() == g.Digest() {
+		t.Fatal("symlink and file with identical bytes share a digest")
+	}
+	// Snapshot round trip preserves the link.
+	h := New()
+	if err := h.Restore(f.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Digest() != f.Digest() {
+		t.Fatal("digest changed across snapshot with symlinks")
+	}
+	target, st := h.ReadLink(a.Handle)
+	if st != OK || target != "target/path" {
+		t.Fatalf("restored readlink = %q (%v)", target, st)
+	}
+}

@@ -1,0 +1,231 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// modelFS is an independent, naive reference implementation of the same
+// semantics: files are byte slices in maps, directories are name sets.
+// The property test below runs random operation streams against both the
+// real FS and this model and requires identical observable behaviour.
+type modelFS struct {
+	next     uint64
+	isDir    map[uint64]bool
+	isLink   map[uint64]bool
+	contents map[uint64][]byte
+	children map[uint64]map[string]uint64
+}
+
+func newModelFS() *modelFS {
+	m := &modelFS{
+		next:     RootHandle,
+		isDir:    make(map[uint64]bool),
+		isLink:   make(map[uint64]bool),
+		contents: make(map[uint64][]byte),
+		children: make(map[uint64]map[string]uint64),
+	}
+	m.alloc(true)
+	return m
+}
+
+func (m *modelFS) alloc(dir bool) uint64 {
+	id := m.next
+	m.next++
+	m.isDir[id] = dir
+	if dir {
+		m.children[id] = make(map[string]uint64)
+	}
+	return id
+}
+
+func (m *modelFS) lookup(dir uint64, name string) (uint64, Status) {
+	if _, ok := m.isDir[dir]; !ok {
+		return 0, ErrStale
+	}
+	if !m.isDir[dir] {
+		return 0, ErrNotDir
+	}
+	id, ok := m.children[dir][name]
+	if !ok {
+		return 0, ErrNoEnt
+	}
+	return id, OK
+}
+
+func (m *modelFS) create(dir uint64, name string, isDir, isLink bool, target string) (uint64, Status) {
+	if _, ok := m.isDir[dir]; !ok {
+		return 0, ErrStale
+	}
+	if !m.isDir[dir] {
+		return 0, ErrNotDir
+	}
+	if name == "" || (isLink && target == "") {
+		return 0, ErrInval
+	}
+	if _, ok := m.children[dir][name]; ok {
+		return 0, ErrExist
+	}
+	id := m.alloc(isDir)
+	if isLink {
+		m.isLink[id] = true
+		m.contents[id] = []byte(target)
+	}
+	m.children[dir][name] = id
+	return id, OK
+}
+
+func (m *modelFS) write(h uint64, off int, data []byte) Status {
+	if _, ok := m.isDir[h]; !ok {
+		return ErrStale
+	}
+	if m.isDir[h] {
+		return ErrIsDir
+	}
+	if m.isLink[h] {
+		return ErrInval
+	}
+	if off < 0 {
+		return ErrInval
+	}
+	cur := m.contents[h]
+	if off+len(data) > len(cur) {
+		grown := make([]byte, off+len(data))
+		copy(grown, cur)
+		cur = grown
+	}
+	copy(cur[off:], data)
+	m.contents[h] = cur
+	return OK
+}
+
+func (m *modelFS) read(h uint64, off, count int) ([]byte, Status) {
+	if _, ok := m.isDir[h]; !ok {
+		return nil, ErrStale
+	}
+	if m.isDir[h] {
+		return nil, ErrIsDir
+	}
+	if m.isLink[h] {
+		return nil, ErrInval
+	}
+	if off < 0 || count < 0 {
+		return nil, ErrInval
+	}
+	cur := m.contents[h]
+	if off >= len(cur) {
+		return nil, OK
+	}
+	end := off + count
+	if end > len(cur) {
+		end = len(cur)
+	}
+	return append([]byte(nil), cur[off:end]...), OK
+}
+
+func (m *modelFS) remove(dir uint64, name string) Status {
+	id, st := m.lookup(dir, name)
+	if st != OK {
+		return st
+	}
+	if m.isDir[id] {
+		return ErrIsDir
+	}
+	delete(m.children[dir], name)
+	delete(m.contents, id)
+	delete(m.isDir, id)
+	delete(m.isLink, id)
+	return OK
+}
+
+// TestFSAgreesWithReferenceModel runs long random operation streams against
+// the real file system and the naive model and compares every result.
+func TestFSAgreesWithReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed)) //nolint:gosec
+			real := New()
+			model := newModelFS()
+
+			names := []string{"a", "b", "c", "d", "e"}
+			handles := []uint64{RootHandle} // same ids on both by construction
+
+			for step := 0; step < 800; step++ {
+				name := names[rng.Intn(len(names))]
+				h := handles[rng.Intn(len(handles))]
+				switch rng.Intn(7) {
+				case 0: // create file
+					ra, rst := real.Create(h, name)
+					mid, mst := model.create(h, name, false, false, "")
+					if rst != mst {
+						t.Fatalf("step %d create: %v vs %v", step, rst, mst)
+					}
+					if rst == OK {
+						if ra.Handle != mid {
+							t.Fatalf("step %d: handle divergence %d vs %d", step, ra.Handle, mid)
+						}
+						handles = append(handles, ra.Handle)
+					}
+				case 1: // mkdir
+					ra, rst := real.Mkdir(h, name)
+					mid, mst := model.create(h, name, true, false, "")
+					if rst != mst {
+						t.Fatalf("step %d mkdir: %v vs %v", step, rst, mst)
+					}
+					if rst == OK {
+						if ra.Handle != mid {
+							t.Fatalf("step %d: handle divergence", step)
+						}
+						handles = append(handles, ra.Handle)
+					}
+				case 2: // symlink
+					_, rst := real.Symlink(h, name, "target")
+					_, mst := model.create(h, name, false, true, "target")
+					if rst != mst {
+						t.Fatalf("step %d symlink: %v vs %v", step, rst, mst)
+					}
+					if rst == OK {
+						handles = append(handles, model.next-1)
+					}
+				case 3: // write
+					off := rng.Intn(3000)
+					data := make([]byte, rng.Intn(2000))
+					rng.Read(data)
+					_, rst := real.Write(h, int64(off), data)
+					mst := model.write(h, off, data)
+					if rst != mst {
+						t.Fatalf("step %d write(h=%d): %v vs %v", step, h, rst, mst)
+					}
+				case 4: // read
+					off, count := rng.Intn(4000), rng.Intn(3000)
+					rdata, rst := real.Read(h, int64(off), int64(count))
+					mdata, mst := model.read(h, off, count)
+					if rst != mst {
+						t.Fatalf("step %d read(h=%d): %v vs %v", step, h, rst, mst)
+					}
+					if rst == OK && !bytes.Equal(rdata, mdata) {
+						t.Fatalf("step %d read(h=%d): %d vs %d bytes", step, h, len(rdata), len(mdata))
+					}
+				case 5: // remove
+					rst := real.Remove(h, name)
+					mst := model.remove(h, name)
+					if rst != mst {
+						t.Fatalf("step %d remove: %v vs %v", step, rst, mst)
+					}
+				case 6: // lookup
+					ra, rst := real.Lookup(h, name)
+					mid, mst := model.lookup(h, name)
+					if rst != mst {
+						t.Fatalf("step %d lookup: %v vs %v", step, rst, mst)
+					}
+					if rst == OK && ra.Handle != mid {
+						t.Fatalf("step %d lookup handle: %d vs %d", step, ra.Handle, mid)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+// Package kvservice is a small deterministic key-value store implementing
+// the replication library's StateMachine interface — the service behind
+// the standalone cmd/bft-replica and cmd/bft-kv tools, and a template for
+// writing services of your own.
+//
+// Operations are encoded with the repository's hardened binary codec:
+//
+//	set <key> <value> -> "OK"
+//	get <key>         -> value ("" when absent)
+//	del <key>         -> "OK"
+//	keys              -> sorted, newline-separated key list (read-only)
+//
+// Set/del results and gets are linearizable through the protocol; get and
+// keys are flagged read-only so clients may use the single-round-trip
+// path.
+package kvservice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bftfast/internal/core"
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+)
+
+// Op codes.
+const (
+	opSet uint8 = iota + 1
+	opGet
+	opDel
+	opKeys
+)
+
+// SetOp encodes a write of key=value.
+func SetOp(key, value string) []byte {
+	e := message.NewEncoder(16 + len(key) + len(value))
+	e.U8(opSet)
+	e.Blob([]byte(key))
+	e.Blob([]byte(value))
+	return e.Bytes()
+}
+
+// GetOp encodes a read of key.
+func GetOp(key string) []byte {
+	e := message.NewEncoder(8 + len(key))
+	e.U8(opGet)
+	e.Blob([]byte(key))
+	return e.Bytes()
+}
+
+// DelOp encodes a deletion of key.
+func DelOp(key string) []byte {
+	e := message.NewEncoder(8 + len(key))
+	e.U8(opDel)
+	e.Blob([]byte(key))
+	return e.Bytes()
+}
+
+// KeysOp encodes a listing of all keys.
+func KeysOp() []byte { return []byte{opKeys} }
+
+// IsReadOnly reports whether an encoded operation is safe for the
+// read-only fast path.
+func IsReadOnly(op []byte) bool {
+	return len(op) > 0 && (op[0] == opGet || op[0] == opKeys)
+}
+
+// Service is the state machine. It maintains its digest incrementally
+// (one hash fold per mutation), so checkpoints stay cheap at any size.
+type Service struct {
+	data   map[string]string
+	digest crypto.Digest
+}
+
+var _ core.StateMachine = (*Service)(nil)
+
+// New returns an empty store.
+func New() *Service {
+	return &Service{data: make(map[string]string)}
+}
+
+// Len returns the number of keys (for tools and tests).
+func (s *Service) Len() int { return len(s.data) }
+
+// entryDigest is the store-digest contribution of one key/value pair.
+func entryDigest(key, value string) crypto.Digest {
+	return crypto.HashAll([]byte{byte(len(key) % 251)}, []byte(key), []byte{0}, []byte(value))
+}
+
+func (s *Service) fold(d crypto.Digest) {
+	for i := range s.digest {
+		s.digest[i] ^= d[i]
+	}
+}
+
+// Execute implements core.StateMachine.
+func (s *Service) Execute(client int32, op []byte, readOnly bool) []byte {
+	d := message.NewDecoder(op)
+	switch d.U8() {
+	case opSet:
+		key, value := string(d.Blob()), string(d.Blob())
+		if d.Finish() != nil || readOnly {
+			return []byte("ERR")
+		}
+		if old, ok := s.data[key]; ok {
+			s.fold(entryDigest(key, old))
+		}
+		s.data[key] = value
+		s.fold(entryDigest(key, value))
+		return []byte("OK")
+	case opGet:
+		key := string(d.Blob())
+		if d.Finish() != nil {
+			return []byte("ERR")
+		}
+		return []byte(s.data[key])
+	case opDel:
+		key := string(d.Blob())
+		if d.Finish() != nil || readOnly {
+			return []byte("ERR")
+		}
+		if old, ok := s.data[key]; ok {
+			s.fold(entryDigest(key, old))
+			delete(s.data, key)
+		}
+		return []byte("OK")
+	case opKeys:
+		if d.Finish() != nil {
+			return []byte("ERR")
+		}
+		keys := make([]string, 0, len(s.data))
+		for k := range s.data {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return []byte(strings.Join(keys, "\n"))
+	default:
+		return []byte("ERR")
+	}
+}
+
+// StateDigest implements core.StateMachine (O(1), maintained per
+// mutation).
+func (s *Service) StateDigest() crypto.Digest { return s.digest }
+
+// Snapshot implements core.StateMachine.
+func (s *Service) Snapshot() []byte {
+	keys := make([]string, 0, len(s.data))
+	total := 0
+	for k, v := range s.data {
+		keys = append(keys, k)
+		total += len(k) + len(v) + 16
+	}
+	sort.Strings(keys)
+	e := message.NewEncoder(16 + total)
+	e.Count(len(keys))
+	for _, k := range keys {
+		e.Blob([]byte(k))
+		e.Blob([]byte(s.data[k]))
+	}
+	return e.Bytes()
+}
+
+// Restore implements core.StateMachine.
+func (s *Service) Restore(snap []byte) error {
+	d := message.NewDecoder(snap)
+	n := d.Count()
+	if d.Err() != nil {
+		return fmt.Errorf("kvservice: corrupt snapshot: %w", d.Err())
+	}
+	data := make(map[string]string, n)
+	var digest crypto.Digest
+	for i := 0; i < n; i++ {
+		k, v := string(d.Blob()), string(d.Blob())
+		if d.Err() != nil {
+			return fmt.Errorf("kvservice: corrupt snapshot entry: %w", d.Err())
+		}
+		data[k] = v
+		ed := entryDigest(k, v)
+		for b := range digest {
+			digest[b] ^= ed[b]
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("kvservice: corrupt snapshot: %w", err)
+	}
+	s.data = data
+	s.digest = digest
+	return nil
+}

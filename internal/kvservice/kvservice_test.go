@@ -1,0 +1,123 @@
+package kvservice
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOperations(t *testing.T) {
+	s := New()
+	if got := s.Execute(1, SetOp("a", "1"), false); string(got) != "OK" {
+		t.Fatalf("set = %q", got)
+	}
+	if got := s.Execute(1, GetOp("a"), true); string(got) != "1" {
+		t.Fatalf("get = %q", got)
+	}
+	if got := s.Execute(1, GetOp("missing"), true); string(got) != "" {
+		t.Fatalf("get missing = %q", got)
+	}
+	s.Execute(1, SetOp("b", "2"), false)
+	if got := s.Execute(1, KeysOp(), true); string(got) != "a\nb" {
+		t.Fatalf("keys = %q", got)
+	}
+	if got := s.Execute(1, DelOp("a"), false); string(got) != "OK" {
+		t.Fatalf("del = %q", got)
+	}
+	if got := s.Execute(1, GetOp("a"), true); string(got) != "" {
+		t.Fatalf("get after del = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestReadOnlyPathCannotMutate(t *testing.T) {
+	s := New()
+	before := s.StateDigest()
+	if got := s.Execute(1, SetOp("a", "1"), true); string(got) != "ERR" {
+		t.Fatalf("read-only set = %q, want ERR", got)
+	}
+	if got := s.Execute(1, DelOp("a"), true); string(got) != "ERR" {
+		t.Fatalf("read-only del = %q, want ERR", got)
+	}
+	if s.StateDigest() != before {
+		t.Fatal("read-only path mutated state")
+	}
+}
+
+func TestMalformedOpsAreDeterministicErrors(t *testing.T) {
+	s := New()
+	for _, op := range [][]byte{nil, {0}, {99}, {1, 2, 3}, append(SetOp("a", "b"), 0)} {
+		if got := s.Execute(1, op, false); string(got) != "ERR" {
+			t.Fatalf("malformed op %v = %q, want ERR", op, got)
+		}
+	}
+}
+
+func TestIsReadOnly(t *testing.T) {
+	if !IsReadOnly(GetOp("k")) || !IsReadOnly(KeysOp()) {
+		t.Fatal("reads not classified read-only")
+	}
+	if IsReadOnly(SetOp("k", "v")) || IsReadOnly(DelOp("k")) || IsReadOnly(nil) {
+		t.Fatal("mutations classified read-only")
+	}
+}
+
+func TestIncrementalDigestMatchesRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9)) //nolint:gosec
+	s := New()
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(50))
+		switch rng.Intn(3) {
+		case 0, 1:
+			s.Execute(1, SetOp(k, fmt.Sprintf("v%d", i)), false)
+		case 2:
+			s.Execute(1, DelOp(k), false)
+		}
+	}
+	fresh := New()
+	if err := fresh.Restore(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.StateDigest() != s.StateDigest() {
+		t.Fatal("incremental digest drifted from a rebuilt store")
+	}
+	if fresh.Len() != s.Len() {
+		t.Fatalf("restored %d keys, want %d", fresh.Len(), s.Len())
+	}
+}
+
+func TestDigestOrderIndependence(t *testing.T) {
+	// The same key set reached in different orders must share a digest
+	// (the protocol compares digests across replicas that executed the
+	// same batches — but intermediate orders differ only in history, and
+	// final states must match).
+	a, b := New(), New()
+	a.Execute(1, SetOp("x", "1"), false)
+	a.Execute(1, SetOp("y", "2"), false)
+	b.Execute(1, SetOp("y", "2"), false)
+	b.Execute(1, SetOp("x", "1"), false)
+	if a.StateDigest() != b.StateDigest() {
+		t.Fatal("identical states have different digests")
+	}
+	// And different states must not collide.
+	b.Execute(1, SetOp("x", "other"), false)
+	if a.StateDigest() == b.StateDigest() {
+		t.Fatal("different states share a digest")
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	s := New()
+	s.Execute(1, SetOp("a", "1"), false)
+	snap := s.Snapshot()
+	for cut := 0; cut < len(snap); cut += 3 {
+		if err := New().Restore(snap[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+	if err := New().Restore(append(snap, 7)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

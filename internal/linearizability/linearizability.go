@@ -1,0 +1,177 @@
+// Package linearizability checks recorded operation histories against the
+// sequential specification of a register (the semantics one key of a
+// key-value store exposes). The BFT library's core guarantee — the paper's
+// §2: "BFT provides linearizability" — is that every client-observed
+// history of the replicated service is linearizable; the protocol tests
+// record real histories under concurrency, loss and view changes and hand
+// them to this checker.
+//
+// The checker implements the Wing & Gill search: try every order of the
+// pending operations consistent with real-time precedence, simulating the
+// register, with memoization on (set of linearized ops, register value).
+// Histories are checked per key, which keeps the search tractable.
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind distinguishes register operations.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Read Kind = iota + 1
+	Write
+)
+
+// Op is one completed client operation with its real-time interval.
+type Op struct {
+	Client int
+	Kind   Kind
+	// Value written (Write) or observed (Read).
+	Value string
+	// Invoke and Return bound the operation in real time. An operation A
+	// precedes B iff A.Return < B.Invoke.
+	Invoke time.Duration
+	Return time.Duration
+}
+
+func (o Op) String() string {
+	k := "R"
+	if o.Kind == Write {
+		k = "W"
+	}
+	return fmt.Sprintf("%s(%q) by %d [%v,%v]", k, o.Value, o.Client, o.Invoke, o.Return)
+}
+
+// History is a set of completed operations on one register.
+type History []Op
+
+// Check reports whether the history is linearizable with respect to a
+// register initialized to initial. It returns a witness order when the
+// history is linearizable, and an error describing the violation when not.
+// The search is exponential in the worst case; histories passed here
+// should be bounded (tens of operations), which the protocol tests ensure.
+func Check(initial string, h History) ([]Op, error) {
+	n := len(h)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 63 {
+		return nil, fmt.Errorf("linearizability: history of %d ops exceeds the 63-op checker bound", n)
+	}
+	ops := append(History{}, h...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	// precedes[i] is the bitmask of operations that must linearize before
+	// op i (their Return is before i's Invoke).
+	precedes := make([]uint64, n)
+	for i := range ops {
+		for j := range ops {
+			if ops[j].Return < ops[i].Invoke {
+				precedes[i] |= 1 << j
+			}
+		}
+	}
+
+	type stateKey struct {
+		done  uint64
+		value string
+	}
+	visited := make(map[stateKey]bool)
+	order := make([]Op, 0, n)
+
+	var dfs func(done uint64, value string) bool
+	dfs = func(done uint64, value string) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		key := stateKey{done, value}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << i
+			if done&bit != 0 {
+				continue
+			}
+			// Every operation that precedes i in real time must already be
+			// linearized.
+			if precedes[i]&^done != 0 {
+				continue
+			}
+			next := value
+			switch ops[i].Kind {
+			case Write:
+				next = ops[i].Value
+			case Read:
+				if ops[i].Value != value {
+					continue // this read cannot linearize here
+				}
+			}
+			order = append(order, ops[i])
+			if dfs(done|bit, next) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+
+	if dfs(0, initial) {
+		witness := append([]Op{}, order...)
+		return witness, nil
+	}
+	var sb strings.Builder
+	for _, o := range ops {
+		fmt.Fprintf(&sb, "  %v\n", o)
+	}
+	return nil, fmt.Errorf("linearizability violated; no valid order for:\n%s", sb.String())
+}
+
+// Recorder collects per-key histories from concurrent test clients. It is
+// not safe for concurrent use; the deterministic test harnesses that feed
+// it are single-threaded.
+type Recorder struct {
+	histories map[string]History
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{histories: make(map[string]History)}
+}
+
+// Record appends a completed operation on key.
+func (r *Recorder) Record(key string, op Op) {
+	r.histories[key] = append(r.histories[key], op)
+}
+
+// CheckAll verifies every key's history against an initially-empty
+// register and returns the first violation, if any.
+func (r *Recorder) CheckAll() error {
+	keys := make([]string, 0, len(r.histories))
+	for k := range r.histories {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := Check("", r.histories[k]); err != nil {
+			return fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Ops returns the number of recorded operations across all keys.
+func (r *Recorder) Ops() int {
+	n := 0
+	for _, h := range r.histories {
+		n += len(h)
+	}
+	return n
+}

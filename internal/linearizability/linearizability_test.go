@@ -1,0 +1,154 @@
+package linearizability
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Write, Value: "a", Invoke: ms(0), Return: ms(1)},
+		{Client: 1, Kind: Read, Value: "a", Invoke: ms(2), Return: ms(3)},
+		{Client: 1, Kind: Write, Value: "b", Invoke: ms(4), Return: ms(5)},
+		{Client: 1, Kind: Read, Value: "b", Invoke: ms(6), Return: ms(7)},
+	}
+	witness, err := Check("", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(witness) != 4 {
+		t.Fatalf("witness has %d ops", len(witness))
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Write, Value: "a", Invoke: ms(0), Return: ms(1)},
+		{Client: 1, Kind: Write, Value: "b", Invoke: ms(2), Return: ms(3)},
+		// Strictly after both writes, a read must not observe "a".
+		{Client: 2, Kind: Read, Value: "a", Invoke: ms(4), Return: ms(5)},
+	}
+	if _, err := Check("", h); err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes: readers may see either, but all readers
+	// after both complete must agree with SOME single order.
+	base := History{
+		{Client: 1, Kind: Write, Value: "x", Invoke: ms(0), Return: ms(10)},
+		{Client: 2, Kind: Write, Value: "y", Invoke: ms(5), Return: ms(15)},
+	}
+	for _, final := range []string{"x", "y"} {
+		h := append(History{}, base...)
+		h = append(h, Op{Client: 3, Kind: Read, Value: final, Invoke: ms(20), Return: ms(21)})
+		if _, err := Check("", h); err != nil {
+			t.Fatalf("final read of %q rejected: %v", final, err)
+		}
+	}
+}
+
+func TestSplitBrainRejected(t *testing.T) {
+	// Two sequential reads observing the two concurrent writes in opposite
+	// orders cannot be linearized.
+	h := History{
+		{Client: 1, Kind: Write, Value: "x", Invoke: ms(0), Return: ms(10)},
+		{Client: 2, Kind: Write, Value: "y", Invoke: ms(0), Return: ms(10)},
+		{Client: 3, Kind: Read, Value: "x", Invoke: ms(20), Return: ms(21)},
+		{Client: 3, Kind: Read, Value: "y", Invoke: ms(22), Return: ms(23)},
+		{Client: 4, Kind: Read, Value: "y", Invoke: ms(20), Return: ms(21)},
+		{Client: 4, Kind: Read, Value: "x", Invoke: ms(22), Return: ms(23)},
+	}
+	if _, err := Check("", h); err == nil {
+		t.Fatal("contradictory read orders accepted")
+	}
+}
+
+func TestReadDuringWriteMaySeeEitherValue(t *testing.T) {
+	for _, seen := range []string{"", "v"} {
+		h := History{
+			{Client: 1, Kind: Write, Value: "v", Invoke: ms(0), Return: ms(10)},
+			{Client: 2, Kind: Read, Value: seen, Invoke: ms(5), Return: ms(6)},
+		}
+		if _, err := Check("", h); err != nil {
+			t.Fatalf("concurrent read of %q rejected: %v", seen, err)
+		}
+	}
+}
+
+func TestReadBeforeWriteCannotSeeIt(t *testing.T) {
+	h := History{
+		{Client: 2, Kind: Read, Value: "v", Invoke: ms(0), Return: ms(1)},
+		{Client: 1, Kind: Write, Value: "v", Invoke: ms(5), Return: ms(6)},
+	}
+	if _, err := Check("", h); err == nil {
+		t.Fatal("read observed a write from the future")
+	}
+}
+
+func TestInitialValueReads(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Read, Value: "init", Invoke: ms(0), Return: ms(1)},
+	}
+	if _, err := Check("init", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check("other", h); err == nil {
+		t.Fatal("read of a value the register never held accepted")
+	}
+}
+
+func TestRecorderCheckAll(t *testing.T) {
+	r := NewRecorder()
+	r.Record("k1", Op{Client: 1, Kind: Write, Value: "a", Invoke: ms(0), Return: ms(1)})
+	r.Record("k1", Op{Client: 2, Kind: Read, Value: "a", Invoke: ms(2), Return: ms(3)})
+	r.Record("k2", Op{Client: 1, Kind: Read, Value: "", Invoke: ms(0), Return: ms(1)})
+	if err := r.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops() != 3 {
+		t.Fatalf("Ops = %d", r.Ops())
+	}
+	r.Record("k2", Op{Client: 1, Kind: Read, Value: "ghost", Invoke: ms(2), Return: ms(3)})
+	err := r.CheckAll()
+	if err == nil {
+		t.Fatal("violation not detected")
+	}
+	if !strings.Contains(err.Error(), "k2") {
+		t.Fatalf("violation not attributed to the right key: %v", err)
+	}
+}
+
+func TestEmptyAndOversizedHistories(t *testing.T) {
+	if _, err := Check("", nil); err != nil {
+		t.Fatal("empty history rejected")
+	}
+	big := make(History, 64)
+	for i := range big {
+		big[i] = Op{Kind: Read, Invoke: ms(i), Return: ms(i)}
+	}
+	if _, err := Check("", big); err == nil {
+		t.Fatal("oversized history accepted silently")
+	}
+}
+
+func TestWitnessRespectsRealTime(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Write, Value: "a", Invoke: ms(0), Return: ms(1)},
+		{Client: 2, Kind: Write, Value: "b", Invoke: ms(10), Return: ms(11)},
+		{Client: 3, Kind: Read, Value: "b", Invoke: ms(20), Return: ms(21)},
+	}
+	witness, err := Check("", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(witness); i++ {
+		if witness[i].Return < witness[i-1].Invoke {
+			t.Fatal("witness order violates real-time precedence")
+		}
+	}
+}

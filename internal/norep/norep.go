@@ -1,0 +1,162 @@
+// Package norep is the paper's unreplicated baseline (NO-REP): the same
+// service as the replicated system, but a single server speaking plain
+// request/response datagrams with no authentication, no ordering protocol
+// and — exactly like the paper's implementation — no retransmission, which
+// is why NO-REP loses requests once its socket buffers overflow under load
+// (the missing data points beyond 15 clients in Figure 4).
+package norep
+
+import (
+	"time"
+
+	"bftfast/internal/core"
+	"bftfast/internal/message"
+	"bftfast/internal/proc"
+)
+
+// Wire tags.
+const (
+	tagRequest uint8 = 1
+	tagReply   uint8 = 2
+)
+
+// Server answers requests with the wrapped state machine's results.
+type Server struct {
+	sm  core.StateMachine
+	env proc.Env
+}
+
+var _ proc.Handler = (*Server)(nil)
+
+// NewServer wraps a state machine (only Execute is used).
+func NewServer(sm core.StateMachine) *Server { return &Server{sm: sm} }
+
+// Init implements proc.Handler.
+func (s *Server) Init(env proc.Env) {
+	s.env = env
+	if aware, ok := s.sm.(core.EnvAware); ok {
+		aware.SetEnv(env)
+	}
+}
+
+// Receive implements proc.Handler.
+func (s *Server) Receive(data []byte) {
+	d := message.NewDecoder(data)
+	if d.U8() != tagRequest {
+		return
+	}
+	client := d.I32()
+	ts := d.I64()
+	op := d.Blob()
+	if d.Finish() != nil {
+		return
+	}
+	result := s.sm.Execute(client, op, false)
+	e := message.NewEncoder(16 + len(result))
+	e.U8(tagReply)
+	e.I64(ts)
+	e.Blob(result)
+	s.env.Send(int(client), e.Bytes())
+}
+
+// OnTimer implements proc.Handler; the server is purely reactive.
+func (s *Server) OnTimer(int) {}
+
+// Client issues one operation at a time to the server. Like the paper's
+// NO-REP client it never retransmits; an optional give-up timeout lets
+// closed-loop benchmark drivers note the loss and move on (the paper
+// simply has no data points once losses start).
+type Client struct {
+	server  int
+	self    int
+	env     proc.Env
+	timeout time.Duration
+
+	ts    int64
+	done  func(result []byte, lost bool)
+	queue []pending
+
+	completed int64
+	lost      int64
+}
+
+type pending struct {
+	op   []byte
+	done func(result []byte, lost bool)
+}
+
+var _ proc.Handler = (*Client)(nil)
+
+const timerGiveUp = 1
+
+// NewClient builds a client of the server node. timeout <= 0 disables the
+// give-up timer (a lost request then stalls the client, as in the paper).
+func NewClient(self, server int, timeout time.Duration) *Client {
+	return &Client{self: self, server: server, timeout: timeout}
+}
+
+// Stats returns (completed, lost) operation counts.
+func (c *Client) Stats() (completed, lost int64) { return c.completed, c.lost }
+
+// Init implements proc.Handler.
+func (c *Client) Init(env proc.Env) { c.env = env }
+
+// Submit queues an operation; done fires with its result, or with
+// lost=true if the give-up timeout expires first.
+func (c *Client) Submit(op []byte, done func(result []byte, lost bool)) {
+	if c.done != nil {
+		c.queue = append(c.queue, pending{op: op, done: done})
+		return
+	}
+	c.begin(op, done)
+}
+
+func (c *Client) begin(op []byte, done func(result []byte, lost bool)) {
+	c.ts++
+	c.done = done
+	e := message.NewEncoder(16 + len(op))
+	e.U8(tagRequest)
+	e.I32(int32(c.self))
+	e.I64(c.ts)
+	e.Blob(op)
+	c.env.Send(c.server, e.Bytes())
+	if c.timeout > 0 {
+		c.env.SetTimer(timerGiveUp, c.timeout)
+	}
+}
+
+// Receive implements proc.Handler.
+func (c *Client) Receive(data []byte) {
+	d := message.NewDecoder(data)
+	if d.U8() != tagReply {
+		return
+	}
+	ts := d.I64()
+	result := d.Blob()
+	if d.Finish() != nil || ts != c.ts || c.done == nil {
+		return
+	}
+	c.env.CancelTimer(timerGiveUp)
+	c.completed++
+	c.finish(result, false)
+}
+
+// OnTimer implements proc.Handler.
+func (c *Client) OnTimer(key int) {
+	if key != timerGiveUp || c.done == nil {
+		return
+	}
+	c.lost++
+	c.finish(nil, true)
+}
+
+func (c *Client) finish(result []byte, lost bool) {
+	done := c.done
+	c.done = nil
+	if len(c.queue) > 0 {
+		next := c.queue[0]
+		c.queue = c.queue[1:]
+		c.begin(next.op, next.done)
+	}
+	done(result, lost)
+}

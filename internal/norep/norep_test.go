@@ -1,0 +1,157 @@
+package norep
+
+import (
+	"testing"
+	"time"
+
+	"bftfast/internal/proc"
+	"bftfast/internal/simpleservice"
+)
+
+// miniRouter wires handlers with instant in-order delivery and manual
+// timers, just enough to exercise the baseline.
+type miniRouter struct {
+	handlers map[int]proc.Handler
+	queue    []func()
+	now      time.Duration
+	timers   map[int]map[int]time.Duration
+	drop     func(dst int) bool
+}
+
+type miniEnv struct {
+	r  *miniRouter
+	id int
+}
+
+func (e miniEnv) Now() time.Duration   { return e.r.now }
+func (e miniEnv) Charge(time.Duration) {}
+func (e miniEnv) Send(dst int, data []byte) {
+	if e.r.drop != nil && e.r.drop(dst) {
+		return
+	}
+	cp := append([]byte(nil), data...)
+	h := e.r.handlers[dst]
+	e.r.queue = append(e.r.queue, func() { h.Receive(cp) })
+}
+func (e miniEnv) Multicast(dsts []int, data []byte) {
+	for _, d := range dsts {
+		e.Send(d, data)
+	}
+}
+func (e miniEnv) SetTimer(key int, d time.Duration) {
+	e.r.timers[e.id][key] = e.r.now + d
+}
+func (e miniEnv) CancelTimer(key int) { delete(e.r.timers[e.id], key) }
+
+func newMiniRouter() *miniRouter {
+	return &miniRouter{handlers: map[int]proc.Handler{}, timers: map[int]map[int]time.Duration{}}
+}
+
+func (r *miniRouter) add(id int, h proc.Handler) {
+	r.handlers[id] = h
+	r.timers[id] = map[int]time.Duration{}
+	h.Init(miniEnv{r: r, id: id})
+}
+
+func (r *miniRouter) pump() {
+	for len(r.queue) > 0 {
+		fn := r.queue[0]
+		r.queue = r.queue[1:]
+		fn()
+	}
+}
+
+func (r *miniRouter) advance(d time.Duration) {
+	r.now += d
+	for id, tm := range r.timers {
+		for key, at := range tm {
+			if at <= r.now {
+				delete(tm, key)
+				r.handlers[id].OnTimer(key)
+			}
+		}
+	}
+	r.pump()
+}
+
+func TestRequestReplyRoundTrip(t *testing.T) {
+	r := newMiniRouter()
+	server := NewServer(simpleservice.Service{})
+	client := NewClient(100, 0, 0)
+	r.add(0, server)
+	r.add(100, client)
+
+	var got []byte
+	client.Submit(simpleservice.Op(8, 64), func(result []byte, lost bool) {
+		if lost {
+			t.Fatal("op reported lost on a clean network")
+		}
+		got = result
+	})
+	r.pump()
+	if len(got) != 64 {
+		t.Fatalf("result = %d bytes, want 64", len(got))
+	}
+	if done, lost := client.Stats(); done != 1 || lost != 0 {
+		t.Fatalf("stats = (%d, %d)", done, lost)
+	}
+}
+
+func TestQueuedOperationsRunInOrder(t *testing.T) {
+	r := newMiniRouter()
+	r.add(0, NewServer(simpleservice.Service{}))
+	client := NewClient(100, 0, 0)
+	r.add(100, client)
+
+	var sizes []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		client.Submit(simpleservice.Op(8, i), func(result []byte, lost bool) {
+			sizes = append(sizes, len(result))
+		})
+	}
+	r.pump()
+	for i, n := range sizes {
+		if n != i+1 {
+			t.Fatalf("op %d returned %d bytes, want %d", i, n, i+1)
+		}
+	}
+}
+
+func TestNoRetransmissionLostRequestTimesOut(t *testing.T) {
+	r := newMiniRouter()
+	r.add(0, NewServer(simpleservice.Service{}))
+	client := NewClient(100, 0, 50*time.Millisecond)
+	r.add(100, client)
+	r.drop = func(dst int) bool { return dst == 0 } // server unreachable
+
+	lostSeen := false
+	client.Submit(simpleservice.Op(8, 8), func(result []byte, lost bool) {
+		lostSeen = lost
+	})
+	r.pump()
+	r.advance(60 * time.Millisecond)
+	if !lostSeen {
+		t.Fatal("lost request not reported (NO-REP must not retransmit)")
+	}
+	if done, lost := client.Stats(); done != 0 || lost != 1 {
+		t.Fatalf("stats = (%d, %d), want (0, 1)", done, lost)
+	}
+	// The client moves on to the next op after a loss.
+	r.drop = nil
+	ok := false
+	client.Submit(simpleservice.Op(8, 8), func(result []byte, lost bool) { ok = !lost })
+	r.pump()
+	if !ok {
+		t.Fatal("client wedged after a loss")
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	r := newMiniRouter()
+	server := NewServer(simpleservice.Service{})
+	r.add(0, server)
+	server.Receive([]byte{0xFF, 0x01})
+	server.Receive(nil)
+	// No panic and no reply: nothing to assert beyond surviving.
+}

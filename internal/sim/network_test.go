@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bftfast/internal/proc"
+)
+
+// TestSwitchBufferHardDrop: bursts beyond the switch's per-port buffering
+// are tail-dropped.
+func TestSwitchBufferHardDrop(t *testing.T) {
+	cm := quietModel()
+	cm.SwitchBufferBytes = 25_000 // 2 ms of queue at 12.5 MB/s
+	s := New(cm, 1)
+	receiver := &probe{}
+	senders := make([]*probe, 8)
+	for i := range senders {
+		senders[i] = &probe{}
+		s.AddNode(senders[i])
+	}
+	rid := s.AddNode(receiver)
+	for _, p := range senders {
+		p := p
+		p.initFn = func(env proc.Env) { env.Send(rid, make([]byte, 12500)) }
+	}
+	s.Run(time.Second)
+	st := s.Stats(rid)
+	if st.Drops == 0 {
+		t.Fatal("a burst far beyond the switch buffer dropped nothing")
+	}
+	if st.MsgsRecv == 0 {
+		t.Fatal("tail drop discarded everything; the head of the burst must pass")
+	}
+	if st.MsgsRecv+st.Drops != int64(len(senders)) {
+		t.Fatalf("recv %d + drops %d != %d sent", st.MsgsRecv, st.Drops, len(senders))
+	}
+}
+
+// TestRareLossOnlyUnderBacklogAndOnlyFragmented: the residual-loss model
+// must not touch small datagrams or uncongested paths.
+func TestRareLossOnlyUnderBacklogAndOnlyFragmented(t *testing.T) {
+	cm := quietModel()
+	cm.RareLossBacklog = time.Millisecond
+	cm.RareLossEvery = 10 // aggressive, to make the effect visible
+	s := New(cm, 1)
+	receiver := &probe{}
+	sender := &probe{}
+	s.AddNode(sender)
+	rid := s.AddNode(receiver)
+
+	// Phase 1: 200 small datagrams back to back — deep backlog, but no
+	// datagram is fragmented, so no rare loss.
+	sender.initFn = func(env proc.Env) {
+		for i := 0; i < 200; i++ {
+			env.Send(rid, make([]byte, 1000))
+		}
+	}
+	s.Run(time.Second)
+	if st := s.Stats(rid); st.Drops != 0 {
+		t.Fatalf("%d small datagrams lost to the fragmentation model", st.Drops)
+	}
+
+	// Phase 2: large datagrams without backlog — spaced out, no loss.
+	s2 := New(cm, 1)
+	recv2 := &probe{}
+	send2 := &probe{}
+	s2.AddNode(send2)
+	rid2 := s2.AddNode(recv2)
+	send2.initFn = func(env proc.Env) { env.SetTimer(1, time.Millisecond) }
+	count := 0
+	send2.timerFn = func(env proc.Env, key int) {
+		env.Send(rid2, make([]byte, 4000))
+		count++
+		if count < 50 {
+			env.SetTimer(1, 5*time.Millisecond) // well spaced: no backlog
+		}
+	}
+	s2.Run(time.Second)
+	if st := s2.Stats(rid2); st.Drops != 0 {
+		t.Fatalf("%d spaced large datagrams lost without backlog", st.Drops)
+	}
+
+	// Phase 3: large datagrams bursting from many senders at once — the
+	// receiver's ingress backlog builds and rare loss bites.
+	s3 := New(cm, 1)
+	recv3 := &probe{}
+	senders3 := make([]*probe, 10)
+	for i := range senders3 {
+		senders3[i] = &probe{}
+		s3.AddNode(senders3[i])
+	}
+	rid3 := s3.AddNode(recv3)
+	for _, p := range senders3 {
+		p := p
+		p.initFn = func(env proc.Env) {
+			for i := 0; i < 10; i++ {
+				env.Send(rid3, make([]byte, 4000))
+			}
+		}
+	}
+	s3.Run(time.Second)
+	if st := s3.Stats(rid3); st.Drops == 0 {
+		t.Fatal("a deep concurrent burst of fragmented datagrams lost nothing")
+	}
+}

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bftfast/internal/crypto"
+	"bftfast/internal/proc"
+)
+
+// event is one scheduled action. seq breaks ties deterministically in FIFO
+// order so runs are reproducible.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NodeStats counts one host's traffic and resource usage.
+type NodeStats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+	Drops     int64
+	CPUBusy   time.Duration
+}
+
+// Simulator is the discrete-event kernel. It is not safe for concurrent
+// use; a benchmark drives it from a single goroutine.
+type Simulator struct {
+	cm     CostModel
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	nodes  []*node
+	rng    *rand.Rand
+}
+
+// New returns a simulator with the given cost model and deterministic seed.
+func New(cm CostModel, seed int64) *Simulator {
+	return &Simulator{cm: cm, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand returns the simulator's seeded random source, for deterministic
+// workload generation.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// CostModel returns the simulator's cost model.
+func (s *Simulator) CostModel() CostModel { return s.cm }
+
+// AddNode registers a handler as the next host and returns its node id.
+// All nodes must be added before Run.
+func (s *Simulator) AddNode(h proc.Handler) int {
+	id := len(s.nodes)
+	n := &node{sim: s, id: id, h: h, timerGen: make(map[int]uint64)}
+	s.nodes = append(s.nodes, n)
+	return id
+}
+
+// AddMeteredNode registers a handler that needs the node's cryptographic
+// work meter at construction time (protocol engines charge digest/MAC work
+// through it). build receives the meter and returns the handler.
+func (s *Simulator) AddMeteredNode(build func(meter crypto.Meter) proc.Handler) int {
+	id := len(s.nodes)
+	n := &node{sim: s, id: id, timerGen: make(map[int]uint64)}
+	s.nodes = append(s.nodes, n)
+	n.h = build(n)
+	return id
+}
+
+// Stats returns a copy of the traffic counters for node id.
+func (s *Simulator) Stats(id int) NodeStats { return s.nodes[id].stats }
+
+// schedule enqueues fn at time at (clamped to now).
+func (s *Simulator) schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// At schedules a harness callback at virtual time at. The callback runs
+// outside any node context and consumes no simulated resources.
+func (s *Simulator) At(at time.Duration, fn func()) { s.schedule(at, fn) }
+
+// Run initializes every node and processes events until no events remain
+// or virtual time reaches limit. It returns the final virtual time.
+func (s *Simulator) Run(limit time.Duration) time.Duration {
+	for _, n := range s.nodes {
+		n := n
+		s.schedule(0, func() { n.runInit() })
+	}
+	return s.Resume(limit)
+}
+
+// Resume continues processing events until the queue empties or virtual
+// time reaches limit. It may be called repeatedly with growing limits.
+func (s *Simulator) Resume(limit time.Duration) time.Duration {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > limit {
+			s.now = limit
+			return s.now
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		next.fn()
+	}
+	return s.now
+}
+
+// workItem is a unit of host CPU work: an incoming datagram or an expired
+// timer.
+type workItem struct {
+	data     []byte // nil for timers
+	timerKey int
+}
+
+// node models one host: a single CPU, full-duplex ingress/egress links, and
+// a bounded receive socket buffer.
+type node struct {
+	sim *Simulator
+	id  int
+	h   proc.Handler
+
+	cpuFree     time.Duration
+	egressFree  time.Duration
+	ingressFree time.Duration
+
+	pending       []workItem
+	pendingBytes  int
+	processing    bool
+	overloadCount int // datagrams accepted while over RareLossBacklog
+
+	// cursor is the running CPU position while a handler executes.
+	cursor   time.Duration
+	inRun    bool
+	timerGen map[int]uint64
+
+	stats NodeStats
+}
+
+var _ proc.Env = (*node)(nil)
+
+// runInit runs the handler's Init as a zero-cost processing run at t=0.
+func (n *node) runInit() {
+	n.beginRun()
+	n.h.Init(n)
+	n.endRun()
+}
+
+func (n *node) beginRun() {
+	start := n.sim.now
+	if n.cpuFree > start {
+		start = n.cpuFree
+	}
+	n.cursor = start
+	n.inRun = true
+}
+
+func (n *node) endRun() {
+	n.stats.CPUBusy += n.cursor - n.sim.now
+	n.cpuFree = n.cursor
+	n.inRun = false
+}
+
+// nowOrCursor is the node-local current time: the CPU cursor while a
+// handler is running, the global clock otherwise.
+func (n *node) nowOrCursor() time.Duration {
+	if n.inRun {
+		return n.cursor
+	}
+	return n.sim.now
+}
+
+// Now implements proc.Env.
+func (n *node) Now() time.Duration { return n.nowOrCursor() }
+
+// Charge implements proc.Env.
+func (n *node) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if n.inRun {
+		n.cursor += d
+	} else {
+		n.cpuFree = n.sim.now + d
+	}
+}
+
+// OnDigest implements crypto.Meter: charge MD5-era hashing cost.
+func (n *node) OnDigest(bytes int) { n.Charge(n.sim.cm.digestCost(bytes)) }
+
+// OnMAC implements crypto.Meter: charge UMAC-era authentication cost.
+func (n *node) OnMAC(bytes int) { n.Charge(n.sim.cm.macCost(bytes)) }
+
+// Send implements proc.Env.
+func (n *node) Send(dst int, data []byte) { n.transmit([]int{dst}, data) }
+
+// Multicast implements proc.Env: hardware multicast occupies the sender's
+// egress link once for any number of destinations.
+func (n *node) Multicast(dsts []int, data []byte) { n.transmit(dsts, data) }
+
+func (n *node) transmit(dsts []int, data []byte) {
+	if len(dsts) == 0 {
+		return
+	}
+	cm := &n.sim.cm
+	n.Charge(cm.sendCost(len(data)))
+	n.stats.MsgsSent++
+	n.stats.BytesSent += int64(len(data))
+
+	txStart := n.nowOrCursor()
+	if n.egressFree > txStart {
+		txStart = n.egressFree
+	}
+	txEnd := txStart + cm.txTime(len(data))
+	n.egressFree = txEnd
+
+	arrival := txEnd + cm.WireLatency
+	for _, dst := range dsts {
+		if dst < 0 || dst >= len(n.sim.nodes) {
+			continue
+		}
+		if dst == n.id {
+			// Loopback: skip the wire, go straight to the receive queue.
+			n.sim.schedule(n.nowOrCursor(), func() { n.enqueue(workItem{data: data}, len(data)) })
+			continue
+		}
+		target := n.sim.nodes[dst]
+		n.sim.schedule(arrival, func() { target.ingressArrive(data) })
+	}
+}
+
+// ingressArrive serializes the datagram through this host's ingress port
+// (store-and-forward from the switch), then hands it to the socket buffer.
+// Two loss mechanisms apply on the wire side: a hard tail-drop when the
+// burst exceeds the switch's per-port buffering, and the rare residual
+// loss of a receive path under sustained near-saturation (see CostModel).
+func (n *node) ingressArrive(data []byte) {
+	rxStart := n.sim.now
+	if n.ingressFree > rxStart {
+		rxStart = n.ingressFree
+	}
+	cm := &n.sim.cm
+	backlog := rxStart - n.sim.now
+	if backlog > cm.txTime(cm.SwitchBufferBytes) {
+		n.stats.Drops++
+		return
+	}
+	if cm.RareLossEvery > 0 && backlog > cm.RareLossBacklog && len(data) > 1480 {
+		n.overloadCount++
+		if n.overloadCount%cm.RareLossEvery == 0 {
+			n.stats.Drops++
+			return
+		}
+	}
+	rxEnd := rxStart + cm.txTime(len(data))
+	n.ingressFree = rxEnd
+	n.sim.schedule(rxEnd, func() { n.enqueue(workItem{data: data}, len(data)) })
+}
+
+// enqueue appends a work item to the socket buffer, dropping it if the
+// buffer is full (UDP semantics), and kicks the CPU if idle.
+func (n *node) enqueue(w workItem, size int) {
+	if w.data != nil && n.pendingBytes+size > n.sim.cm.SocketBufferBytes {
+		n.stats.Drops++
+		return
+	}
+	n.pending = append(n.pending, w)
+	n.pendingBytes += size
+	if !n.processing {
+		n.processing = true
+		start := n.sim.now
+		if n.cpuFree > start {
+			start = n.cpuFree
+		}
+		n.sim.schedule(start, n.processNext)
+	}
+}
+
+// processNext runs the handler on the head of the socket buffer.
+func (n *node) processNext() {
+	if len(n.pending) == 0 {
+		n.processing = false
+		return
+	}
+	w := n.pending[0]
+	n.pending = n.pending[1:]
+	n.beginRun()
+	if w.data != nil {
+		n.pendingBytes -= len(w.data)
+		n.Charge(n.sim.cm.recvCost(len(w.data)))
+		n.stats.MsgsRecv++
+		n.stats.BytesRecv += int64(len(w.data))
+		n.h.Receive(w.data)
+	} else {
+		n.Charge(n.sim.cm.TimerFixed)
+		n.h.OnTimer(w.timerKey)
+	}
+	n.endRun()
+	if len(n.pending) > 0 {
+		n.sim.schedule(n.cpuFree, n.processNext)
+	} else {
+		n.processing = false
+	}
+}
+
+// SetTimer implements proc.Env.
+func (n *node) SetTimer(key int, d time.Duration) {
+	n.timerGen[key]++
+	gen := n.timerGen[key]
+	at := n.nowOrCursor() + d
+	n.sim.schedule(at, func() {
+		if n.timerGen[key] != gen {
+			return // canceled or re-armed
+		}
+		n.enqueue(workItem{timerKey: key}, 0)
+	})
+}
+
+// CancelTimer implements proc.Env.
+func (n *node) CancelTimer(key int) { n.timerGen[key]++ }
+
+// String aids debugging.
+func (n *node) String() string { return fmt.Sprintf("node(%d)", n.id) }
+
+// DebugNode reports a node's internal queue state (development tooling).
+func (s *Simulator) DebugNode(id int) string {
+	n := s.nodes[id]
+	return fmt.Sprintf("{pendingItems=%d pendingBytes=%d processing=%v cpuFree=%v ingressFree=%v egressFree=%v}",
+		len(n.pending), n.pendingBytes, n.processing, n.cpuFree, n.ingressFree, n.egressFree)
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bftfast/internal/proc"
+)
+
+// probe is a scriptable test handler recording everything it observes.
+type probe struct {
+	env     proc.Env
+	initFn  func(env proc.Env)
+	recvFn  func(env proc.Env, data []byte)
+	timerFn func(env proc.Env, key int)
+
+	recvAt  []time.Duration
+	recvLen []int
+	timerAt []time.Duration
+	timers  []int
+}
+
+func (p *probe) Init(env proc.Env) {
+	p.env = env
+	if p.initFn != nil {
+		p.initFn(env)
+	}
+}
+
+func (p *probe) Receive(data []byte) {
+	p.recvAt = append(p.recvAt, p.env.Now())
+	p.recvLen = append(p.recvLen, len(data))
+	if p.recvFn != nil {
+		p.recvFn(p.env, data)
+	}
+}
+
+func (p *probe) OnTimer(key int) {
+	p.timerAt = append(p.timerAt, p.env.Now())
+	p.timers = append(p.timers, key)
+	if p.timerFn != nil {
+		p.timerFn(p.env, key)
+	}
+}
+
+// quietModel returns a cost model with zeroed CPU costs so wire effects can
+// be asserted in isolation.
+func quietModel() CostModel {
+	cm := DefaultCostModel()
+	cm.SendFixed, cm.RecvFixed = 0, 0
+	cm.SendPerByte, cm.RecvPerByte = 0, 0
+	cm.TimerFixed = 0
+	cm.FrameOverheadBytes = 0
+	cm.WireLatency = 0
+	return cm
+}
+
+func TestUnicastLatencyMatchesModel(t *testing.T) {
+	cm := quietModel()
+	cm.WireLatency = 10 * time.Microsecond
+	s := New(cm, 1)
+	receiver := &probe{}
+	sender := &probe{}
+	s.AddNode(sender)
+	rid := s.AddNode(receiver)
+	sender.initFn = func(env proc.Env) { env.Send(rid, make([]byte, 12500)) }
+	s.Run(time.Second)
+
+	// 12500 bytes at 12.5 MB/s = 1 ms on egress, +10 µs wire, +1 ms ingress.
+	want := 2*time.Millisecond + 10*time.Microsecond
+	if len(receiver.recvAt) != 1 {
+		t.Fatalf("got %d deliveries, want 1", len(receiver.recvAt))
+	}
+	if got := receiver.recvAt[0]; got != want {
+		t.Fatalf("delivery at %v, want %v", got, want)
+	}
+}
+
+func TestEgressSerializesBackToBack(t *testing.T) {
+	s := New(quietModel(), 1)
+	receiver := &probe{}
+	sender := &probe{}
+	s.AddNode(sender)
+	rid := s.AddNode(receiver)
+	sender.initFn = func(env proc.Env) {
+		env.Send(rid, make([]byte, 12500))
+		env.Send(rid, make([]byte, 12500))
+	}
+	s.Run(time.Second)
+	if len(receiver.recvAt) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(receiver.recvAt))
+	}
+	gap := receiver.recvAt[1] - receiver.recvAt[0]
+	if gap != time.Millisecond {
+		t.Fatalf("inter-delivery gap %v, want 1ms (egress serialization)", gap)
+	}
+}
+
+func TestMulticastOccupiesEgressOnce(t *testing.T) {
+	s := New(quietModel(), 1)
+	sender := &probe{}
+	r1, r2, r3 := &probe{}, &probe{}, &probe{}
+	s.AddNode(sender)
+	ids := []int{s.AddNode(r1), s.AddNode(r2), s.AddNode(r3)}
+	sender.initFn = func(env proc.Env) { env.Multicast(ids, make([]byte, 12500)) }
+	s.Run(time.Second)
+	// All three receivers get the datagram after one egress tx + one
+	// ingress tx: 2 ms — not 2, 3, 4 ms as sequential unicasts would give.
+	for i, r := range []*probe{r1, r2, r3} {
+		if len(r.recvAt) != 1 || r.recvAt[0] != 2*time.Millisecond {
+			t.Fatalf("receiver %d: deliveries %v, want one at 2ms", i, r.recvAt)
+		}
+	}
+}
+
+func TestSequentialUnicastsSerializeUnlikeMulticast(t *testing.T) {
+	s := New(quietModel(), 1)
+	sender := &probe{}
+	r1, r2 := &probe{}, &probe{}
+	s.AddNode(sender)
+	id1, id2 := s.AddNode(r1), s.AddNode(r2)
+	sender.initFn = func(env proc.Env) {
+		env.Send(id1, make([]byte, 12500))
+		env.Send(id2, make([]byte, 12500))
+	}
+	s.Run(time.Second)
+	if r1.recvAt[0] != 2*time.Millisecond {
+		t.Fatalf("first unicast at %v, want 2ms", r1.recvAt[0])
+	}
+	if r2.recvAt[0] != 3*time.Millisecond {
+		t.Fatalf("second unicast at %v, want 3ms (egress serialized)", r2.recvAt[0])
+	}
+}
+
+func TestIngressContentionSerializesReceivers(t *testing.T) {
+	s := New(quietModel(), 1)
+	receiver := &probe{}
+	s1, s2 := &probe{}, &probe{}
+	s.AddNode(s1)
+	s.AddNode(s2)
+	rid := s.AddNode(receiver)
+	s1.initFn = func(env proc.Env) { env.Send(rid, make([]byte, 12500)) }
+	s2.initFn = func(env proc.Env) { env.Send(rid, make([]byte, 12500)) }
+	s.Run(time.Second)
+	if len(receiver.recvAt) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(receiver.recvAt))
+	}
+	// Both arrive at the switch at 1ms; the receiver's port serializes them.
+	if receiver.recvAt[0] != 2*time.Millisecond || receiver.recvAt[1] != 3*time.Millisecond {
+		t.Fatalf("deliveries at %v, want [2ms 3ms]", receiver.recvAt)
+	}
+}
+
+func TestChargeDelaysSubsequentWork(t *testing.T) {
+	s := New(quietModel(), 1)
+	receiver := &probe{}
+	sender := &probe{}
+	s.AddNode(sender)
+	rid := s.AddNode(receiver)
+	receiver.recvFn = func(env proc.Env, data []byte) {
+		env.Charge(5 * time.Millisecond) // slow operation
+	}
+	sender.initFn = func(env proc.Env) {
+		env.Send(rid, make([]byte, 125))
+		env.Send(rid, make([]byte, 125))
+	}
+	s.Run(time.Second)
+	if len(receiver.recvAt) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(receiver.recvAt))
+	}
+	gap := receiver.recvAt[1] - receiver.recvAt[0]
+	if gap < 5*time.Millisecond {
+		t.Fatalf("second message processed after %v, want >= 5ms (CPU busy)", gap)
+	}
+	if busy := s.Stats(rid).CPUBusy; busy < 10*time.Millisecond {
+		t.Fatalf("CPUBusy = %v, want >= 10ms", busy)
+	}
+}
+
+func TestSocketBufferDropsWhenFull(t *testing.T) {
+	cm := quietModel()
+	cm.SocketBufferBytes = 300
+	s := New(cm, 1)
+	receiver := &probe{}
+	sender := &probe{}
+	s.AddNode(sender)
+	rid := s.AddNode(receiver)
+	// Receiver wedges its CPU so arrivals pile into the socket buffer.
+	receiver.recvFn = func(env proc.Env, data []byte) { env.Charge(time.Second) }
+	sender.initFn = func(env proc.Env) {
+		for i := 0; i < 10; i++ {
+			env.Send(rid, make([]byte, 100))
+		}
+	}
+	s.Run(10 * time.Second)
+	st := s.Stats(rid)
+	if st.Drops == 0 {
+		t.Fatal("no drops despite full socket buffer")
+	}
+	if st.MsgsRecv+st.Drops != 10 {
+		t.Fatalf("recv %d + drops %d != 10 sent", st.MsgsRecv, st.Drops)
+	}
+}
+
+func TestTimersFireCancelRearm(t *testing.T) {
+	s := New(quietModel(), 1)
+	p := &probe{}
+	s.AddNode(p)
+	p.initFn = func(env proc.Env) {
+		env.SetTimer(1, 10*time.Millisecond)
+		env.SetTimer(2, 20*time.Millisecond)
+		env.CancelTimer(2)
+		env.SetTimer(3, 30*time.Millisecond)
+		env.SetTimer(3, 40*time.Millisecond) // re-arm pushes it out
+	}
+	s.Run(time.Second)
+	if len(p.timers) != 2 {
+		t.Fatalf("timers fired: %v, want keys [1 3]", p.timers)
+	}
+	if p.timers[0] != 1 || p.timerAt[0] != 10*time.Millisecond {
+		t.Fatalf("first timer: key %d at %v", p.timers[0], p.timerAt[0])
+	}
+	if p.timers[1] != 3 || p.timerAt[1] != 40*time.Millisecond {
+		t.Fatalf("re-armed timer: key %d at %v, want 3 at 40ms", p.timers[1], p.timerAt[1])
+	}
+}
+
+func TestLoopbackSkipsWire(t *testing.T) {
+	s := New(quietModel(), 1)
+	p := &probe{}
+	id := s.AddNode(p)
+	p.initFn = func(env proc.Env) { env.Send(id, make([]byte, 12500)) }
+	s.Run(time.Second)
+	if len(p.recvAt) != 1 || p.recvAt[0] != 0 {
+		t.Fatalf("loopback deliveries %v, want one at 0", p.recvAt)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(DefaultCostModel(), 42)
+		receiver := &probe{}
+		var senders []*probe
+		rid := -1
+		for i := 0; i < 3; i++ {
+			p := &probe{}
+			senders = append(senders, p)
+			s.AddNode(p)
+		}
+		receiverIdx := s.AddNode(receiver)
+		rid = receiverIdx
+		for i, p := range senders {
+			i := i
+			p.initFn = func(env proc.Env) {
+				for k := 0; k < 5; k++ {
+					env.Send(rid, make([]byte, 100*(i+1)))
+				}
+			}
+		}
+		s.Run(time.Second)
+		return receiver.recvAt
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 15 {
+		t.Fatalf("delivery counts differ or wrong: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at delivery %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHarnessCallbackAndResume(t *testing.T) {
+	s := New(quietModel(), 1)
+	p := &probe{}
+	s.AddNode(p)
+	p.initFn = func(env proc.Env) { env.SetTimer(9, 50*time.Millisecond) }
+	var observed time.Duration
+	s.At(25*time.Millisecond, func() { observed = s.Now() })
+	end := s.Run(30 * time.Millisecond)
+	if observed != 25*time.Millisecond {
+		t.Fatalf("callback ran at %v, want 25ms", observed)
+	}
+	if end != 30*time.Millisecond {
+		t.Fatalf("Run returned %v, want 30ms limit", end)
+	}
+	if len(p.timers) != 0 {
+		t.Fatal("timer fired before limit")
+	}
+	s.Resume(time.Second)
+	if len(p.timers) != 1 || p.timerAt[0] != 50*time.Millisecond {
+		t.Fatalf("after resume, timers %v at %v", p.timers, p.timerAt)
+	}
+}
+
+func TestCryptoMeterChargesCPU(t *testing.T) {
+	cm := quietModel()
+	cm.DigestFixed = time.Microsecond
+	cm.DigestPerByte = 10 * time.Nanosecond
+	cm.MACFixed = time.Microsecond
+	cm.MACPerByte = 0
+	s := New(cm, 1)
+	p := &probe{}
+	id := s.AddNode(p)
+	p.initFn = func(env proc.Env) {
+		n := s.nodes[id]
+		n.OnDigest(1000) // 1µs + 10µs
+		n.OnMAC(100)     // 1µs
+	}
+	s.Run(time.Second)
+	if busy := s.Stats(id).CPUBusy; busy != 12*time.Microsecond {
+		t.Fatalf("CPUBusy = %v, want 12µs", busy)
+	}
+}

@@ -1,0 +1,75 @@
+package simpleservice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpSizes(t *testing.T) {
+	tests := []struct {
+		arg, res      int
+		wantLen       int
+		wantResultLen int
+	}{
+		{0, 0, 4, 0},       // argument padded to the 4-byte header
+		{8, 0, 8, 0},       // the paper's 0/0 operation
+		{8, 4096, 8, 4096}, // 0/4
+		{4096, 0, 4096, 0}, // 4/0
+		{4096, 4096, 4096, 4096},
+	}
+	svc := Service{}
+	for _, tt := range tests {
+		op := Op(tt.arg, tt.res)
+		if len(op) != tt.wantLen {
+			t.Fatalf("Op(%d, %d) has %d bytes, want %d", tt.arg, tt.res, len(op), tt.wantLen)
+		}
+		result := svc.Execute(1, op, false)
+		if len(result) != tt.wantResultLen {
+			t.Fatalf("Execute(Op(%d, %d)) returned %d bytes, want %d",
+				tt.arg, tt.res, len(result), tt.wantResultLen)
+		}
+	}
+}
+
+func TestExecuteDeterministicProperty(t *testing.T) {
+	svc := Service{}
+	f := func(arg, res uint16, client int32, readOnly bool) bool {
+		op := Op(int(arg), int(res))
+		a := svc.Execute(client, op, readOnly)
+		b := svc.Execute(client+1, op, !readOnly)
+		if len(a) != len(b) || len(a) != int(res) {
+			return false
+		}
+		for i := range a {
+			if a[i] != 0 || b[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteToleratesGarbage(t *testing.T) {
+	svc := Service{}
+	if svc.Execute(1, nil, false) != nil {
+		t.Fatal("nil op should return nil")
+	}
+	if svc.Execute(1, []byte{1, 2}, false) != nil {
+		t.Fatal("short op should return nil")
+	}
+}
+
+func TestStatelessness(t *testing.T) {
+	svc := Service{}
+	d := svc.StateDigest()
+	svc.Execute(1, Op(8, 64), false)
+	if svc.StateDigest() != d {
+		t.Fatal("null service mutated state")
+	}
+	if err := svc.Restore(svc.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChannelNetwork is an in-process Network for tests, examples and
+// single-binary demos. It can inject loss, delay and partitions.
+type ChannelNetwork struct {
+	mu    sync.RWMutex
+	nodes map[int]func(data []byte)
+
+	// Fault injection (all optional; guarded by mu).
+	lossRate  float64
+	delay     time.Duration
+	rng       *rand.Rand
+	partition map[int]bool // nodes cut off from everyone
+}
+
+// NewChannelNetwork returns an empty in-process network.
+func NewChannelNetwork() *ChannelNetwork {
+	return &ChannelNetwork{
+		nodes:     make(map[int]func(data []byte)),
+		rng:       rand.New(rand.NewSource(1)), //nolint:gosec // fault injection, not security
+		partition: make(map[int]bool),
+	}
+}
+
+// SetLossRate makes the network drop a fraction of datagrams.
+func (c *ChannelNetwork) SetLossRate(p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lossRate = p
+}
+
+// SetDelay adds a fixed delivery delay.
+func (c *ChannelNetwork) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay = d
+}
+
+// SetPartitioned cuts a node off from (or reconnects it to) the network.
+func (c *ChannelNetwork) SetPartitioned(id int, cut bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partition[id] = cut
+}
+
+// Register implements Network.
+func (c *ChannelNetwork) Register(id int, recv func(data []byte)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[id]; ok {
+		return fmt.Errorf("transport: node %d already registered", id)
+	}
+	c.nodes[id] = recv
+	return nil
+}
+
+// Unregister implements Network.
+func (c *ChannelNetwork) Unregister(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.nodes, id)
+}
+
+// Send implements Network.
+func (c *ChannelNetwork) Send(src, dst int, data []byte) {
+	c.mu.RLock()
+	recv := c.nodes[dst]
+	cut := c.partition[src] || c.partition[dst]
+	delay := c.delay
+	drop := c.lossRate > 0 && c.rng.Float64() < c.lossRate
+	c.mu.RUnlock()
+	if recv == nil || cut || drop {
+		return
+	}
+	cp := append([]byte(nil), data...)
+	if delay > 0 {
+		time.AfterFunc(delay, func() { recv(cp) })
+		return
+	}
+	recv(cp)
+}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// maxDatagram bounds UDP reads; the protocol's largest normal-case
+// messages are pre-prepares bounded by the batch size, and state-transfer
+// fragments are 8 KiB, both far below this.
+const maxDatagram = 64 << 10
+
+// UDPNetwork is a Network over real UDP sockets, one per local node. The
+// address table maps node ids to UDP addresses (typically loopback ports in
+// the demo, distinct hosts in a deployment).
+type UDPNetwork struct {
+	addrs map[int]*net.UDPAddr
+
+	mu    sync.Mutex
+	conns map[int]*net.UDPConn
+	wg    sync.WaitGroup
+}
+
+// NewUDPNetwork builds a network from a node-id to address table.
+func NewUDPNetwork(addrs map[int]string) (*UDPNetwork, error) {
+	resolved := make(map[int]*net.UDPAddr, len(addrs))
+	for id, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolving %q for node %d: %w", a, id, err)
+		}
+		resolved[id] = ua
+	}
+	return &UDPNetwork{addrs: resolved, conns: make(map[int]*net.UDPConn)}, nil
+}
+
+// Register implements Network: binds the node's socket and starts its
+// reader goroutine.
+func (u *UDPNetwork) Register(id int, recv func(data []byte)) error {
+	addr, ok := u.addrs[id]
+	if !ok {
+		return fmt.Errorf("transport: no address for node %d", id)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: binding node %d: %w", id, err)
+	}
+	u.mu.Lock()
+	u.conns[id] = conn
+	u.mu.Unlock()
+
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		buf := make([]byte, maxDatagram)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // closed
+			}
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			recv(data)
+		}
+	}()
+	return nil
+}
+
+// Unregister implements Network: closes the node's socket, stopping its
+// reader.
+func (u *UDPNetwork) Unregister(id int) {
+	u.mu.Lock()
+	conn := u.conns[id]
+	delete(u.conns, id)
+	u.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Send implements Network.
+func (u *UDPNetwork) Send(src, dst int, data []byte) {
+	addr, ok := u.addrs[dst]
+	if !ok {
+		return
+	}
+	u.mu.Lock()
+	conn := u.conns[src]
+	u.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	_, _ = conn.WriteToUDP(data, addr) // best effort, like the wire
+}
+
+// Close shuts every local socket and waits for readers to exit.
+func (u *UDPNetwork) Close() {
+	u.mu.Lock()
+	for id, conn := range u.conns {
+		_ = conn.Close()
+		delete(u.conns, id)
+	}
+	u.mu.Unlock()
+	u.wg.Wait()
+}

@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"bftfast/internal/fs"
+	"bftfast/internal/proc"
+)
+
+// AndrewConfig parameterizes the scaled modified Andrew benchmark. The
+// paper scales the original benchmark by creating n copies of the source
+// tree in the first two phases and operating on all copies in the rest;
+// Andrew100 (n=100) generates about 200 MB of data and Andrew500 (n=500)
+// about 1 GB.
+type AndrewConfig struct {
+	// Copies is n, the number of source-tree copies.
+	Copies int
+	// DirsPerCopy and FilesPerCopy shape each copy's tree.
+	DirsPerCopy  int
+	FilesPerCopy int
+	// MinFileBytes and MaxFileBytes bound the deterministic file sizes.
+	MinFileBytes int
+	MaxFileBytes int
+	// ChunkBytes is the NFS transfer size (the paper mounted with 3 KB
+	// buffers).
+	ChunkBytes int
+
+	// Client-side computation, the part of Andrew that is not file I/O:
+	// PerOp models VFS/syscall work per operation, ScanPerByte the cheap
+	// pass over data in the read phase (grep), CompilePerByte the
+	// compilation work in phase 5.
+	PerOp          time.Duration
+	ScanPerByte    time.Duration
+	CompilePerByte time.Duration
+	// ObjectRatio is the fraction of source bytes written back as
+	// "compiled objects" in phase 5.
+	ObjectRatio float64
+}
+
+// AndrewN returns the paper's configuration for n copies.
+func AndrewN(n int) AndrewConfig {
+	return AndrewConfig{
+		Copies:         n,
+		DirsPerCopy:    5,
+		FilesPerCopy:   60,
+		MinFileBytes:   1 << 10,
+		MaxFileBytes:   66 << 10, // averages ~2 MB per copy across 60 files
+		ChunkBytes:     3072,
+		PerOp:          250 * time.Microsecond,
+		ScanPerByte:    130 * time.Nanosecond,
+		CompilePerByte: 1900 * time.Nanosecond,
+		ObjectRatio:    0.4,
+	}
+}
+
+// AndrewPhases names the benchmark's five phases.
+var AndrewPhases = [5]string{"mkdir", "copy", "stat", "read", "compile"}
+
+// Andrew drives the benchmark against one file service.
+type Andrew struct {
+	cfg  AndrewConfig
+	env  proc.Env
+	fsc  FSClient
+	done func()
+
+	phase    int // 0..4 while running, 5 when finished
+	copyIdx  int
+	dirIdx   int
+	fileIdx  int
+	chunkOff int
+
+	copyDirs   []uint64   // handle of each copy's top directory
+	subDirs    [][]uint64 // [copy][dir] handles
+	fileHandle [][]uint64 // [copy][file] handles
+
+	ops        int64
+	errors     int64
+	phaseStart time.Duration
+	PhaseTime  [5]time.Duration
+}
+
+var _ Runner = (*Andrew)(nil)
+
+// NewAndrew returns a driver for cfg.
+func NewAndrew(cfg AndrewConfig) *Andrew { return &Andrew{cfg: cfg} }
+
+// Ops implements Runner.
+func (a *Andrew) Ops() int64 { return a.ops }
+
+// Errors returns the number of failed operations (must stay zero).
+func (a *Andrew) Errors() int64 { return a.errors }
+
+// TotalBytes returns the source-tree volume the benchmark creates.
+func (a *Andrew) TotalBytes() int64 {
+	var total int64
+	for f := 0; f < a.cfg.FilesPerCopy; f++ {
+		total += int64(a.fileSize(f))
+	}
+	return total * int64(a.cfg.Copies)
+}
+
+// fileSize is the deterministic size of file f (identical in every copy,
+// like the real source tree).
+func (a *Andrew) fileSize(f int) int {
+	p := newPRNG(uint64(f) * 1031)
+	return p.rangeIn(a.cfg.MinFileBytes, a.cfg.MaxFileBytes)
+}
+
+// Start implements Runner.
+func (a *Andrew) Start(env proc.Env, fsc FSClient, done func()) {
+	a.env, a.fsc, a.done = env, fsc, done
+	a.copyDirs = make([]uint64, a.cfg.Copies)
+	a.subDirs = make([][]uint64, a.cfg.Copies)
+	a.fileHandle = make([][]uint64, a.cfg.Copies)
+	for i := range a.subDirs {
+		a.subDirs[i] = make([]uint64, a.cfg.DirsPerCopy)
+		a.fileHandle[i] = make([]uint64, a.cfg.FilesPerCopy)
+	}
+	a.phaseStart = env.Now()
+	a.stepMkdir()
+}
+
+func (a *Andrew) call(op []byte, onAttr func(fs.Attr)) {
+	chargeEnv(a.env, a.cfg.PerOp)
+	a.fsc.Call(op, fs.IsReadOnly(op), func(result []byte) {
+		a.ops++
+		attr, st, err := fs.ParseAttrResult(result)
+		if err != nil || st != fs.OK {
+			a.errors++
+		}
+		onAttr(attr)
+	})
+}
+
+func (a *Andrew) callRead(op []byte, onData func([]byte)) {
+	chargeEnv(a.env, a.cfg.PerOp)
+	a.fsc.Call(op, true, func(result []byte) {
+		a.ops++
+		data, st, err := fs.ParseReadResult(result)
+		if err != nil || st != fs.OK {
+			a.errors++
+		}
+		onData(data)
+	})
+}
+
+func (a *Andrew) nextPhase() {
+	now := a.env.Now()
+	a.PhaseTime[a.phase] = now - a.phaseStart
+	a.phaseStart = now
+	a.phase++
+	a.copyIdx, a.dirIdx, a.fileIdx, a.chunkOff = 0, 0, 0, 0
+	switch a.phase {
+	case 1:
+		a.stepCopy()
+	case 2:
+		a.stepStat()
+	case 3:
+		a.stepRead()
+	case 4:
+		a.stepCompile()
+	default:
+		a.done()
+	}
+}
+
+// dirOf returns the directory handle file f of a copy lives in.
+func (a *Andrew) dirOf(c, f int) uint64 { return a.subDirs[c][f%a.cfg.DirsPerCopy] }
+
+// --- Phase 1: mkdir ---
+
+func (a *Andrew) stepMkdir() {
+	c := a.copyIdx
+	if c == a.cfg.Copies {
+		a.nextPhase()
+		return
+	}
+	if a.dirIdx == 0 && a.copyDirs[c] == 0 {
+		a.call(fs.MkdirOp(fs.RootHandle, fmt.Sprintf("copy%d", c)), func(attr fs.Attr) {
+			a.copyDirs[c] = attr.Handle
+			a.stepMkdir()
+		})
+		return
+	}
+	if a.dirIdx < a.cfg.DirsPerCopy {
+		d := a.dirIdx
+		a.call(fs.MkdirOp(a.copyDirs[c], fmt.Sprintf("dir%d", d)), func(attr fs.Attr) {
+			a.subDirs[c][d] = attr.Handle
+			a.dirIdx++
+			a.stepMkdir()
+		})
+		return
+	}
+	a.copyIdx++
+	a.dirIdx = 0
+	a.stepMkdir()
+}
+
+// --- Phase 2: copy (create + write every file) ---
+
+func (a *Andrew) stepCopy() {
+	c := a.copyIdx
+	if c == a.cfg.Copies {
+		a.nextPhase()
+		return
+	}
+	f := a.fileIdx
+	if f == a.cfg.FilesPerCopy {
+		a.copyIdx++
+		a.fileIdx = 0
+		a.stepCopy()
+		return
+	}
+	if a.fileHandle[c][f] == 0 {
+		a.call(fs.CreateOp(a.dirOf(c, f), fmt.Sprintf("file%d", f)), func(attr fs.Attr) {
+			a.fileHandle[c][f] = attr.Handle
+			a.chunkOff = 0
+			a.stepCopy()
+		})
+		return
+	}
+	size := a.fileSize(f)
+	if a.chunkOff < size {
+		n := a.cfg.ChunkBytes
+		if a.chunkOff+n > size {
+			n = size - a.chunkOff
+		}
+		off := a.chunkOff
+		a.chunkOff += n
+		a.call(fs.WriteOp(a.fileHandle[c][f], int64(off), payload(n, uint64(c)<<32|uint64(f))), func(fs.Attr) {
+			a.stepCopy()
+		})
+		return
+	}
+	a.fileIdx++
+	a.chunkOff = 0
+	a.stepCopy()
+}
+
+// --- Phase 3: stat every file ---
+
+func (a *Andrew) stepStat() {
+	c := a.copyIdx
+	if c == a.cfg.Copies {
+		a.nextPhase()
+		return
+	}
+	f := a.fileIdx
+	if f == a.cfg.FilesPerCopy {
+		a.copyIdx++
+		a.fileIdx = 0
+		a.stepStat()
+		return
+	}
+	a.fileIdx++
+	a.call(fs.GetAttrOp(a.fileHandle[c][f]), func(fs.Attr) { a.stepStat() })
+}
+
+// --- Phase 4: read every file (grep-style scan) ---
+
+func (a *Andrew) stepRead() {
+	c := a.copyIdx
+	if c == a.cfg.Copies {
+		a.nextPhase()
+		return
+	}
+	f := a.fileIdx
+	if f == a.cfg.FilesPerCopy {
+		a.copyIdx++
+		a.fileIdx = 0
+		a.stepRead()
+		return
+	}
+	size := a.fileSize(f)
+	if a.chunkOff < size {
+		off := a.chunkOff
+		a.chunkOff += a.cfg.ChunkBytes
+		a.callRead(fs.ReadOp(a.fileHandle[c][f], int64(off), int64(a.cfg.ChunkBytes)), func(data []byte) {
+			chargeEnv(a.env, time.Duration(len(data))*a.cfg.ScanPerByte)
+			a.stepRead()
+		})
+		return
+	}
+	a.fileIdx++
+	a.chunkOff = 0
+	a.stepRead()
+}
+
+// --- Phase 5: compile (read sources, compute, write objects) ---
+
+func (a *Andrew) stepCompile() {
+	c := a.copyIdx
+	if c == a.cfg.Copies {
+		a.nextPhase()
+		return
+	}
+	f := a.fileIdx
+	if f == a.cfg.FilesPerCopy {
+		a.copyIdx++
+		a.fileIdx = 0
+		a.stepCompile()
+		return
+	}
+	size := a.fileSize(f)
+	if a.chunkOff < size {
+		off := a.chunkOff
+		a.chunkOff += a.cfg.ChunkBytes
+		a.callRead(fs.ReadOp(a.fileHandle[c][f], int64(off), int64(a.cfg.ChunkBytes)), func(data []byte) {
+			chargeEnv(a.env, time.Duration(len(data))*a.cfg.CompilePerByte)
+			a.stepCompile()
+		})
+		return
+	}
+	// Write the object file in one pass after "compiling" the source.
+	objSize := int(float64(size) * a.cfg.ObjectRatio)
+	a.chunkOff = 0
+	a.fileIdx++
+	a.call(fs.CreateOp(a.dirOf(c, f), fmt.Sprintf("file%d.o", f)), func(attr fs.Attr) {
+		a.writeObjectChunks(attr.Handle, c, f, objSize, 0)
+	})
+}
+
+func (a *Andrew) writeObjectChunks(h uint64, c, f, size, off int) {
+	if off >= size {
+		a.stepCompile()
+		return
+	}
+	n := a.cfg.ChunkBytes
+	if off+n > size {
+		n = size - off
+	}
+	a.call(fs.WriteOp(h, int64(off), payload(n, uint64(c)<<32|uint64(f)|1<<63)), func(fs.Attr) {
+		a.writeObjectChunks(h, c, f, size, off+n)
+	})
+}

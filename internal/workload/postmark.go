@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"bftfast/internal/fs"
+	"bftfast/internal/proc"
+)
+
+// PostMarkConfig parameterizes the PostMark benchmark, which models the
+// small-file churn of Internet service providers (mail/news): a pool of
+// files between 512 bytes and 16 KB, hit by transactions that pair a
+// create-or-delete with a read-or-append.
+type PostMarkConfig struct {
+	// InitialFiles is the starting pool size.
+	InitialFiles int
+	// Transactions is how many transactions to run.
+	Transactions int
+	// MinFileBytes and MaxFileBytes bound file sizes (paper: 512 B–16 KB).
+	MinFileBytes int
+	MaxFileBytes int
+	// ChunkBytes is the transfer size per read/write RPC.
+	ChunkBytes int
+	// PerOp is client-side work per operation.
+	PerOp time.Duration
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// DefaultPostMark returns the paper's configuration (pool of small files,
+// transactions counted in the thousands).
+func DefaultPostMark() PostMarkConfig {
+	return PostMarkConfig{
+		InitialFiles: 1000,
+		Transactions: 5000,
+		MinFileBytes: 512,
+		MaxFileBytes: 16 << 10,
+		ChunkBytes:   3072,
+		PerOp:        30 * time.Microsecond,
+		Seed:         42,
+	}
+}
+
+// PostMark drives the benchmark against one file service.
+type PostMark struct {
+	cfg  PostMarkConfig
+	env  proc.Env
+	fsc  FSClient
+	done func()
+	rng  *prng
+
+	files   []uint64 // live file handles
+	sizes   []int
+	tags    []int // creation tags (file names are derived from these)
+	nextTag int
+	txLeft  int
+
+	ops     int64
+	txDone  int64
+	errors  int64
+	started time.Duration
+	Elapsed time.Duration
+}
+
+var _ Runner = (*PostMark)(nil)
+
+// NewPostMark returns a driver for cfg.
+func NewPostMark(cfg PostMarkConfig) *PostMark { return &PostMark{cfg: cfg} }
+
+// Ops implements Runner.
+func (p *PostMark) Ops() int64 { return p.ops }
+
+// Transactions returns the number of completed transactions.
+func (p *PostMark) Transactions() int64 { return p.txDone }
+
+// Errors returns the number of failed operations (must stay zero).
+func (p *PostMark) Errors() int64 { return p.errors }
+
+// Start implements Runner.
+func (p *PostMark) Start(env proc.Env, fsc FSClient, done func()) {
+	p.env, p.fsc, p.done = env, fsc, done
+	p.rng = newPRNG(p.cfg.Seed)
+	p.txLeft = p.cfg.Transactions
+	p.started = env.Now()
+	p.createInitial(0)
+}
+
+func (p *PostMark) call(op []byte, onDone func(result []byte)) {
+	chargeEnv(p.env, p.cfg.PerOp)
+	p.fsc.Call(op, fs.IsReadOnly(op), func(result []byte) {
+		p.ops++
+		onDone(result)
+	})
+}
+
+func (p *PostMark) fileName(tag int) string { return fmt.Sprintf("pm%d", tag) }
+
+// createFile creates and fills a new pool file, then continues with next.
+func (p *PostMark) createFile(next func()) {
+	tag := p.nextTag
+	p.nextTag++
+	size := p.rng.rangeIn(p.cfg.MinFileBytes, p.cfg.MaxFileBytes)
+	p.call(fs.CreateOp(fs.RootHandle, p.fileName(tag)), func(result []byte) {
+		attr, st, err := fs.ParseAttrResult(result)
+		if err != nil || st != fs.OK {
+			p.errors++
+			next()
+			return
+		}
+		p.files = append(p.files, attr.Handle)
+		p.sizes = append(p.sizes, size)
+		p.tags = append(p.tags, tag)
+		p.fillFile(attr.Handle, size, 0, uint64(tag), next)
+	})
+}
+
+func (p *PostMark) fillFile(h uint64, size, off int, tag uint64, next func()) {
+	if off >= size {
+		next()
+		return
+	}
+	n := p.cfg.ChunkBytes
+	if off+n > size {
+		n = size - off
+	}
+	p.call(fs.WriteOp(h, int64(off), payload(n, tag)), func(result []byte) {
+		if _, st, err := fs.ParseAttrResult(result); err != nil || st != fs.OK {
+			p.errors++
+		}
+		p.fillFile(h, size, off+n, tag, next)
+	})
+}
+
+func (p *PostMark) createInitial(i int) {
+	if i == p.cfg.InitialFiles {
+		p.transaction()
+		return
+	}
+	p.createFile(func() { p.createInitial(i + 1) })
+}
+
+// transaction runs one create/delete + read/append pair.
+func (p *PostMark) transaction() {
+	if p.txLeft == 0 {
+		p.Elapsed = p.env.Now() - p.started
+		p.done()
+		return
+	}
+	p.txLeft--
+	p.txDone++
+
+	first := func(next func()) {
+		if p.rng.intn(2) == 0 || len(p.files) < 2 {
+			p.createFile(next)
+		} else {
+			p.deleteFile(next)
+		}
+	}
+	second := func(next func()) {
+		if len(p.files) == 0 {
+			next()
+			return
+		}
+		if p.rng.intn(2) == 0 {
+			p.readFile(next)
+		} else {
+			p.appendFile(next)
+		}
+	}
+	first(func() { second(p.transaction) })
+}
+
+func (p *PostMark) deleteFile(next func()) {
+	idx := p.rng.intn(len(p.files))
+	tag := p.tags[idx]
+	last := len(p.files) - 1
+	p.files[idx], p.files[last] = p.files[last], p.files[idx]
+	p.sizes[idx], p.sizes[last] = p.sizes[last], p.sizes[idx]
+	p.tags[idx], p.tags[last] = p.tags[last], p.tags[idx]
+	p.files = p.files[:last]
+	p.sizes = p.sizes[:last]
+	p.tags = p.tags[:last]
+	p.call(fs.RemoveOp(fs.RootHandle, p.fileName(tag)), func(result []byte) {
+		if st, err := fs.ParseStatusResult(result); err != nil || st != fs.OK {
+			p.errors++
+		}
+		next()
+	})
+}
+
+func (p *PostMark) readFile(next func()) {
+	idx := p.rng.intn(len(p.files))
+	h, size := p.files[idx], p.sizes[idx]
+	p.readChunks(h, size, 0, next)
+}
+
+func (p *PostMark) readChunks(h uint64, size, off int, next func()) {
+	if off >= size {
+		next()
+		return
+	}
+	p.call(fs.ReadOp(h, int64(off), int64(p.cfg.ChunkBytes)), func(result []byte) {
+		if _, st, err := fs.ParseReadResult(result); err != nil || st != fs.OK {
+			p.errors++
+		}
+		p.readChunks(h, size, off+p.cfg.ChunkBytes, next)
+	})
+}
+
+func (p *PostMark) appendFile(next func()) {
+	idx := p.rng.intn(len(p.files))
+	h := p.files[idx]
+	n := p.rng.rangeIn(p.cfg.MinFileBytes, p.cfg.ChunkBytes)
+	off := p.sizes[idx]
+	p.sizes[idx] += n
+	p.call(fs.WriteOp(h, int64(off), payload(n, 0xA99E4D)), func(result []byte) {
+		if _, st, err := fs.ParseAttrResult(result); err != nil || st != fs.OK {
+			p.errors++
+		}
+		next()
+	})
+}

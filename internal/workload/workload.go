@@ -1,0 +1,78 @@
+// Package workload generates the paper's file-system benchmarks — the
+// scaled modified Andrew benchmark (Andrew100/Andrew500) and PostMark —
+// as deterministic, lazily generated operation streams driven against any
+// file service (BFS, NO-REP, or the NFS-STD model) through the FSClient
+// interface. Drivers charge client-side computation to their environment,
+// reproducing the paper's observation that real services hide part of the
+// replication overhead behind client work.
+package workload
+
+import (
+	"encoding/binary"
+	"time"
+
+	"bftfast/internal/proc"
+)
+
+// FSClient issues one encoded file-system operation (see internal/fs) and
+// delivers the encoded result asynchronously. Implementations wrap the BFT
+// client, the NO-REP client, or the NFS-STD client.
+type FSClient interface {
+	Call(op []byte, readOnly bool, done func(result []byte))
+}
+
+// Runner drives a workload to completion and reports progress counters.
+type Runner interface {
+	// Start begins issuing operations; done fires when the workload ends.
+	Start(env proc.Env, fsc FSClient, done func())
+	// Ops returns the number of operations completed so far.
+	Ops() int64
+}
+
+// prng is a tiny deterministic generator (splitmix64) so workloads are
+// identical across runs and replicas without importing math/rand state.
+type prng struct{ state uint64 }
+
+func newPRNG(seed uint64) *prng { return &prng{state: seed} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (p *prng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(p.next() % uint64(n))
+}
+
+// rangeIn returns a value in [lo, hi].
+func (p *prng) rangeIn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + p.intn(hi-lo+1)
+}
+
+// payload builds n deterministic non-zero bytes (cheaply).
+func payload(n int, tag uint64) []byte {
+	buf := make([]byte, n)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], tag)
+	for i := range buf {
+		buf[i] = b[i&7] ^ byte(i)
+	}
+	return buf
+}
+
+// chargeEnv charges client compute time if an environment is present.
+func chargeEnv(env proc.Env, d time.Duration) {
+	if env != nil && d > 0 {
+		env.Charge(d)
+	}
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"bftfast/internal/fs"
+	"bftfast/internal/proc"
+)
+
+// localFS runs operations directly against an in-process file system,
+// trampolining callbacks so deep workload chains cannot overflow the stack.
+type localFS struct {
+	fsys    *fs.FS
+	queue   []func()
+	running bool
+	calls   int64
+}
+
+func newLocalFS() *localFS { return &localFS{fsys: fs.New()} }
+
+func (l *localFS) Call(op []byte, readOnly bool, done func(result []byte)) {
+	l.calls++
+	result := l.fsys.Apply(op)
+	l.queue = append(l.queue, func() { done(result) })
+	if l.running {
+		return
+	}
+	l.running = true
+	for len(l.queue) > 0 {
+		fn := l.queue[0]
+		l.queue = l.queue[1:]
+		fn()
+	}
+	l.running = false
+}
+
+// stillEnv is a no-op environment with a fixed clock.
+type stillEnv struct{ now time.Duration }
+
+var _ proc.Env = (*stillEnv)(nil)
+
+func (e *stillEnv) Now() time.Duration          { return e.now }
+func (e *stillEnv) Charge(d time.Duration)      { e.now += d }
+func (e *stillEnv) Send(int, []byte)            {}
+func (e *stillEnv) Multicast([]int, []byte)     {}
+func (e *stillEnv) SetTimer(int, time.Duration) {}
+func (e *stillEnv) CancelTimer(int)             {}
+
+func miniAndrew(copies int) AndrewConfig {
+	cfg := AndrewN(copies)
+	cfg.FilesPerCopy = 8
+	cfg.DirsPerCopy = 2
+	cfg.MaxFileBytes = 8 << 10
+	return cfg
+}
+
+func TestAndrewRunsAllPhases(t *testing.T) {
+	cfg := miniAndrew(3)
+	a := NewAndrew(cfg)
+	local := newLocalFS()
+	env := &stillEnv{}
+	finished := false
+	a.Start(env, local, func() { finished = true })
+	if !finished {
+		t.Fatal("Andrew did not finish")
+	}
+	if a.Errors() != 0 {
+		t.Fatalf("%d operation errors", a.Errors())
+	}
+	if a.Ops() == 0 || local.calls != a.Ops() {
+		t.Fatalf("ops accounting broken: driver %d vs service %d", a.Ops(), local.calls)
+	}
+	for i, d := range a.PhaseTime {
+		if d <= 0 {
+			t.Fatalf("phase %s recorded no time", AndrewPhases[i])
+		}
+	}
+	// The tree must physically exist: copies × (files + objects).
+	entries, st := local.fsys.ReadDir(fs.RootHandle)
+	if st != fs.OK || len(entries) != cfg.Copies {
+		t.Fatalf("root has %d entries (%v), want %d copies", len(entries), st, cfg.Copies)
+	}
+	// Data volume: sources plus ~ObjectRatio of objects.
+	min := a.TotalBytes()
+	if local.fsys.DataBytes() < min {
+		t.Fatalf("fs holds %d bytes, want >= %d", local.fsys.DataBytes(), min)
+	}
+}
+
+func TestAndrewDeterministic(t *testing.T) {
+	run := func() [16]byte {
+		a := NewAndrew(miniAndrew(2))
+		local := newLocalFS()
+		done := false
+		a.Start(&stillEnv{}, local, func() { done = true })
+		if !done {
+			t.Fatal("did not finish")
+		}
+		return local.fsys.Digest()
+	}
+	if run() != run() {
+		t.Fatal("two identical Andrew runs produced different file-system digests")
+	}
+}
+
+func TestAndrewScalesWithCopies(t *testing.T) {
+	count := func(copies int) int64 {
+		a := NewAndrew(miniAndrew(copies))
+		local := newLocalFS()
+		a.Start(&stillEnv{}, local, func() {})
+		return a.Ops()
+	}
+	one, four := count(1), count(4)
+	if four <= 3*one {
+		t.Fatalf("ops did not scale with copies: 1 copy = %d, 4 copies = %d", one, four)
+	}
+}
+
+func TestPostMarkRunsTransactions(t *testing.T) {
+	cfg := DefaultPostMark()
+	cfg.InitialFiles = 40
+	cfg.Transactions = 200
+	p := NewPostMark(cfg)
+	local := newLocalFS()
+	finished := false
+	p.Start(&stillEnv{}, local, func() { finished = true })
+	if !finished {
+		t.Fatal("PostMark did not finish")
+	}
+	if p.Errors() != 0 {
+		t.Fatalf("%d operation errors", p.Errors())
+	}
+	if p.Transactions() != int64(cfg.Transactions) {
+		t.Fatalf("ran %d transactions, want %d", p.Transactions(), cfg.Transactions)
+	}
+	if p.Ops() < int64(cfg.Transactions)*2 {
+		t.Fatalf("only %d ops for %d transactions", p.Ops(), cfg.Transactions)
+	}
+}
+
+func TestPostMarkDeterministic(t *testing.T) {
+	run := func() [16]byte {
+		cfg := DefaultPostMark()
+		cfg.InitialFiles = 30
+		cfg.Transactions = 100
+		p := NewPostMark(cfg)
+		local := newLocalFS()
+		p.Start(&stillEnv{}, local, func() {})
+		return local.fsys.Digest()
+	}
+	if run() != run() {
+		t.Fatal("two identical PostMark runs diverged")
+	}
+}
+
+func TestPostMarkPoolChurns(t *testing.T) {
+	cfg := DefaultPostMark()
+	cfg.InitialFiles = 30
+	cfg.Transactions = 300
+	cfg.Seed = 7
+	p := NewPostMark(cfg)
+	local := newLocalFS()
+	p.Start(&stillEnv{}, local, func() {})
+	entries, st := local.fsys.ReadDir(fs.RootHandle)
+	if st != fs.OK {
+		t.Fatal(st)
+	}
+	// Creates and deletes are balanced, so the pool should stay within a
+	// factor of the initial size but not be identical.
+	if len(entries) == cfg.InitialFiles {
+		t.Log("pool size unchanged; acceptable but unusual")
+	}
+	if len(entries) == 0 {
+		t.Fatal("pool emptied out")
+	}
+}
+
+func TestPRNGDeterminismAndRange(t *testing.T) {
+	a, b := newPRNG(9), newPRNG(9)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.rangeIn(10, 20), b.rangeIn(10, 20)
+		if va != vb {
+			t.Fatal("prng not deterministic")
+		}
+		if va < 10 || va > 20 {
+			t.Fatalf("rangeIn out of bounds: %d", va)
+		}
+	}
+	if newPRNG(1).intn(0) != 0 || newPRNG(1).rangeIn(5, 5) != 5 {
+		t.Fatal("degenerate ranges mishandled")
+	}
+}
+
+func TestPayloadDeterministicNonZero(t *testing.T) {
+	p1, p2 := payload(1000, 7), payload(1000, 7)
+	nonZero := false
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("payload not deterministic")
+		}
+		if p1[i] != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("payload all zeros")
+	}
+	if len(payload(0, 1)) != 0 {
+		t.Fatal("empty payload mishandled")
+	}
+}
