@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. Like standard Go directives
+// (//go:..., //nolint), it must be a // comment with no space before the
+// marker.
+const allowPrefix = "//bftvet:allow"
+
+// allowLines collects, per file, the set of line numbers covered by a
+// well-formed //bftvet:allow directive: the directive's own line and the
+// line directly below it (so the directive can sit above the offending
+// statement or trail it on the same line). It also returns the positions
+// of malformed directives that carry no reason.
+func allowLines(fset *token.FileSet, files []*ast.File) (allowed map[string]map[int]bool, malformed []token.Pos) {
+	allowed = make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				if reason == "" {
+					malformed = append(malformed, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := allowed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					allowed[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return allowed, malformed
+}
+
+// suppressed reports whether a diagnostic at pos falls on a line covered
+// by an allow directive.
+func suppressed(fset *token.FileSet, pos token.Pos, allowed map[string]map[int]bool) bool {
+	p := fset.Position(pos)
+	return allowed[p.Filename][p.Line]
+}

@@ -1,0 +1,117 @@
+// Package analysistest runs one analyzer over a seeded testdata package
+// and checks its diagnostics against `// want "re"` expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata lives under <analyzer>/testdata/src/<dir>; each file marks the
+// lines where a diagnostic is expected:
+//
+//	time.Sleep(time.Second) // want `engine package calls time\.Sleep`
+//
+// The expectation is an unanchored regexp matched against diagnostics
+// reported on that line. A want with no matching diagnostic, or a
+// diagnostic with no matching want, fails the test. Lines suppressed with
+// //bftvet:allow carry no want and must stay silent — so every testdata
+// package doubles as a test of the escape hatch.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bftfast/internal/analysis"
+)
+
+// wantRe extracts the expectation from a comment: want "re" or want `re`.
+var wantRe = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// Run loads testdata/src/<dir> as a package with the given import path,
+// applies the analyzer, and checks expectations. The import path matters
+// to path-sensitive analyzers: detcheck testdata declares an engine
+// package's path to fall under the contract.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkgDir := filepath.Join("testdata", "src", dir)
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(pkgDir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgDir, err)
+	}
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation site.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans the package's comments for want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					} else {
+						pat = unquoteEscapes(pat)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteEscapes undoes \" and \\ escaping inside a double-quoted want.
+func unquoteEscapes(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,288 @@
+// Package bufretain enforces the buffer-ownership half of the engine
+// contract: a []byte handed to proc.Env.Send, proc.Env.Multicast or
+// transport.Network.Send is owned by the environment from that moment on
+// ("the buffer must not be retained"). On a zero-copy path — the channel
+// transport in fast mode, or the simulator — the environment delivers the
+// very same backing array to the peer, so a sender that keeps writing
+// into it corrupts a datagram in flight, and a sender that stashes it
+// aliases memory the receiver now owns.
+//
+// Within each function the analyzer tracks plain variables passed as the
+// data argument of a send and reports:
+//
+//   - lexically after the send: element writes (buf[i] = x),
+//     copy(buf, ...), and append(buf, ...) — append may write into the
+//     sent backing array when capacity allows;
+//   - anywhere in the function (a field outlives the call, so order is
+//     irrelevant): storing the variable into a struct field, map, slice
+//     element, or package-level variable.
+//
+// Rebinding the variable to a provably fresh value (buf = make(...),
+// buf = nil, a composite literal, or any expression not mentioning the
+// variable itself) ends the tracking: writes to the fresh buffer are the
+// sender preparing its next datagram. buf = append(buf, ...) does not
+// reset — the result can alias the sent array.
+//
+// The analysis is intraprocedural and tracks identifiers only; it is a
+// tripwire for the common mistakes, not an escape analysis. Intentional
+// aliasing is annotated //bftvet:allow <reason>.
+package bufretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bftfast/internal/analysis"
+)
+
+// Analyzer is the bufretain analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufretain",
+	Doc:  "flag mutation or retention of a []byte after passing it to Env.Send/Multicast or Network.Send",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok {
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false // nested literals share the body's position space
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcFacts holds per-function tracking state.
+type funcFacts struct {
+	pass    *analysis.Pass
+	sends   map[types.Object][]token.Pos // end position of each send per buffer
+	rebinds map[types.Object][]token.Pos // end position of each fresh rebinding
+}
+
+// checkFunc analyzes one function body.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ff := &funcFacts{
+		pass:    pass,
+		sends:   make(map[types.Object][]token.Pos),
+		rebinds: make(map[types.Object][]token.Pos),
+	}
+	// Pass 1: collect sends and fresh rebindings.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if obj := sendBufferArg(pass.TypesInfo, node); obj != nil {
+				ff.sends[obj] = append(ff.sends[obj], node.End())
+			}
+		case *ast.AssignStmt:
+			ff.collectRebinds(node)
+		}
+		return true
+	})
+	if len(ff.sends) == 0 {
+		return
+	}
+	// Pass 2: report writes and retention.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			ff.checkAssign(node)
+		case *ast.CallExpr:
+			ff.checkBuiltinWrite(node)
+		}
+		return true
+	})
+}
+
+// collectRebinds records plain `buf = <expr>` assignments whose value is
+// provably fresh (does not mention buf). The rebind takes effect at the
+// statement's end so the right-hand side itself is still checked against
+// the old binding.
+func (ff *funcFacts) collectRebinds(as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN {
+		return // := introduces a new object; nothing to reset
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := analysis.Unparen(lhs).(*ast.Ident)
+		if !ok || i >= len(as.Rhs) {
+			continue
+		}
+		obj, ok := ff.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || mentions(ff.pass.TypesInfo, as.Rhs[i], obj) {
+			continue
+		}
+		ff.rebinds[obj] = append(ff.rebinds[obj], as.End())
+	}
+}
+
+// mentions reports whether expr references obj.
+func mentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sentLiveAt reports whether some send of obj is still "live" at pos:
+// the send happened before pos with no fresh rebinding in between.
+func (ff *funcFacts) sentLiveAt(obj types.Object, pos token.Pos) bool {
+	for _, s := range ff.sends[obj] {
+		if s <= pos && !ff.rebindBetween(obj, s, pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasesSomeSend reports whether a store of obj at pos and some send of
+// obj refer to the same binding (no fresh rebinding between them, in
+// either order).
+func (ff *funcFacts) aliasesSomeSend(obj types.Object, pos token.Pos) bool {
+	for _, s := range ff.sends[obj] {
+		lo, hi := s, pos
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if !ff.rebindBetween(obj, lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// rebindBetween reports whether obj was freshly rebound strictly inside
+// (lo, hi).
+func (ff *funcFacts) rebindBetween(obj types.Object, lo, hi token.Pos) bool {
+	for _, r := range ff.rebinds[obj] {
+		if lo < r && r < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// sendBufferArg returns the variable passed as the data argument of an
+// Env.Send/Multicast or Network.Send call, if it is a plain identifier.
+func sendBufferArg(info *types.Info, call *ast.CallExpr) types.Object {
+	recv, method, ok := analysis.ReceiverOfCall(call)
+	if !ok {
+		return nil
+	}
+	recvType := info.TypeOf(recv)
+	var dataArg ast.Expr
+	switch {
+	case analysis.IsProcEnv(recvType) && (method == "Send" || method == "Multicast") && len(call.Args) == 2:
+		dataArg = call.Args[1]
+	case analysis.IsTransportNetwork(recvType) && method == "Send" && len(call.Args) == 3:
+		dataArg = call.Args[2]
+	default:
+		return nil
+	}
+	id, ok := analysis.Unparen(dataArg).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// checkAssign flags writes through and retention of sent buffers.
+func (ff *funcFacts) checkAssign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		lhs = analysis.Unparen(lhs)
+		// buf[i] = x after a live send writes into the sent array.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if obj := identObj(ff.pass.TypesInfo, ix.X); obj != nil && ff.sentLiveAt(obj, as.Pos()) {
+				ff.pass.Reportf(as.Pos(), "write to %s[...] after it was passed to Send/Multicast: the environment owns the buffer once sent", objName(ix.X))
+			}
+		}
+		if i < len(as.Rhs) {
+			ff.checkRetainingStore(lhs, as.Rhs[i], as.Pos())
+		}
+	}
+	// buf = append(buf, ...) after a live send can write in place.
+	for _, rhs := range as.Rhs {
+		call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltin(ff.pass.TypesInfo, call, "append") || len(call.Args) == 0 {
+			continue
+		}
+		if obj := identObj(ff.pass.TypesInfo, call.Args[0]); obj != nil && ff.sentLiveAt(obj, call.Pos()) {
+			ff.pass.Reportf(call.Pos(), "append to %s after it was passed to Send/Multicast may write into the sent backing array", objName(call.Args[0]))
+		}
+	}
+}
+
+// checkRetainingStore flags `dst = buf` where dst outlives the statement:
+// a struct field, a map or slice element, or a package-level variable.
+func (ff *funcFacts) checkRetainingStore(lhs, rhs ast.Expr, at token.Pos) {
+	obj := identObj(ff.pass.TypesInfo, rhs)
+	if obj == nil || !ff.aliasesSomeSend(obj, at) {
+		return
+	}
+	var what string
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		what = "a struct field"
+	case *ast.IndexExpr:
+		what = "a map or slice element"
+	case *ast.Ident:
+		if v, ok := ff.pass.TypesInfo.Uses[l].(*types.Var); ok && v.Parent() == ff.pass.Pkg.Scope() {
+			what = "a package-level variable"
+		}
+	}
+	if what == "" {
+		return
+	}
+	ff.pass.Reportf(at, "%s is passed to Send/Multicast but also stored in %s: the environment owns the buffer once sent", obj.Name(), what)
+}
+
+// checkBuiltinWrite flags copy(buf, ...) into a sent buffer.
+func (ff *funcFacts) checkBuiltinWrite(call *ast.CallExpr) {
+	if !isBuiltin(ff.pass.TypesInfo, call, "copy") || len(call.Args) != 2 {
+		return
+	}
+	if obj := identObj(ff.pass.TypesInfo, call.Args[0]); obj != nil && ff.sentLiveAt(obj, call.Pos()) {
+		ff.pass.Reportf(call.Pos(), "copy into %s after it was passed to Send/Multicast: the environment owns the buffer once sent", objName(call.Args[0]))
+	}
+}
+
+// identObj resolves a plain identifier expression to its variable object.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := analysis.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// objName renders the identifier for diagnostics.
+func objName(e ast.Expr) string {
+	if id, ok := analysis.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "buffer"
+}

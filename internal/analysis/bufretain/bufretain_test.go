@@ -1,0 +1,15 @@
+package bufretain_test
+
+import (
+	"testing"
+
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/bufretain"
+)
+
+// TestRetain checks every seeded mutation/retention is reported, legal
+// patterns (mutate-before-send, fresh rebinding, expression arguments)
+// stay silent, and the //bftvet:allow exemption is suppressed.
+func TestRetain(t *testing.T) {
+	analysistest.Run(t, bufretain.Analyzer, "retain", "bftfast/internal/retaintest")
+}

@@ -1,0 +1,67 @@
+// Package retain seeds buffer-ownership violations for the bufretain
+// analyzer: mutation or retention of a []byte after it was passed to
+// proc.Env.Send/Multicast or transport.Network.Send.
+package retain
+
+import (
+	"bftfast/internal/proc"
+	"bftfast/internal/transport"
+)
+
+type engine struct {
+	env  proc.Env
+	last []byte
+}
+
+// Violations: writes into the buffer after the send.
+func (e *engine) mutateAfterSend(buf []byte) {
+	e.env.Send(1, buf)
+	buf[0] = 0xFF // want `write to buf\[\.\.\.\] after it was passed`
+}
+
+func (e *engine) copyAfterMulticast(buf, next []byte) {
+	e.env.Multicast([]int{1, 2, 3}, buf)
+	copy(buf, next) // want `copy into buf after it was passed`
+}
+
+func (e *engine) appendAfterSend(buf []byte) []byte {
+	e.env.Send(2, buf)
+	buf = append(buf, 0) // want `append to buf after it was passed`
+	return buf
+}
+
+// Violation: retention in a field, regardless of statement order.
+func (e *engine) retainInField(buf []byte) {
+	e.last = buf // want `buf is passed to Send/Multicast but also stored in a struct field`
+	e.env.Send(1, buf)
+}
+
+func (e *engine) retainInMap(cache map[int][]byte, buf []byte) {
+	e.env.Send(1, buf)
+	cache[7] = buf // want `buf is passed to Send/Multicast but also stored in a map or slice element`
+}
+
+// Violation: the Network-level send has the same contract.
+func networkSend(net transport.Network, buf []byte) {
+	net.Send(0, 1, buf)
+	buf[3] = 9 // want `write to buf\[\.\.\.\] after it was passed`
+}
+
+// Legal: send as last use, rebinding to a fresh buffer, sending an
+// expression result, and mutation before the send.
+func (e *engine) legal(buf []byte) {
+	buf[0] = 1 // mutation before the send is the sender preparing it
+	e.env.Send(1, buf)
+	buf = make([]byte, 16)
+	buf[0] = 2
+	e.env.Send(1, encode(buf))
+}
+
+// Suppressed: deliberate double-buffer reuse with a reason.
+func (e *engine) exempted(buf []byte) {
+	e.env.Send(1, buf)
+	//bftvet:allow channel transport copies in slow mode; reuse measured safe here
+	buf[0] = 3
+}
+
+func encode(b []byte) []byte { return b }

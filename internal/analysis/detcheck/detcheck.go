@@ -1,0 +1,119 @@
+// Package detcheck enforces the determinism half of the engine contract
+// (internal/proc): protocol engines are single-threaded reactive state
+// machines that take all time from Env.Now and all randomness from
+// injected sources. Inside the engine packages it forbids:
+//
+//   - wall-clock and timer functions from package time (Now, Since,
+//     Until, Sleep, After, AfterFunc, Tick, NewTimer, NewTicker) — time
+//     must come from Env.Now and timers from Env.SetTimer;
+//   - the global math/rand generator (rand.Intn, rand.Float64, ...) —
+//     randomness must flow in through a seeded source; constructing one
+//     with rand.New/rand.NewSource remains legal;
+//   - go statements — the environment owns all concurrency;
+//   - importing sync or sync/atomic — a correctly written engine has
+//     nothing to lock.
+//
+// Violations that are intentional are annotated //bftvet:allow <reason>.
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"bftfast/internal/analysis"
+)
+
+// EnginePackages is the set of import paths bound by the determinism
+// contract: every package whose code runs inside proc.Handler callbacks
+// on both the simulator and the wall-time transports.
+var EnginePackages = map[string]bool{
+	"bftfast/internal/core":          true,
+	"bftfast/internal/bfs":           true,
+	"bftfast/internal/norep":         true,
+	"bftfast/internal/fs":            true,
+	"bftfast/internal/kvservice":     true,
+	"bftfast/internal/simpleservice": true,
+}
+
+// forbiddenTimeFuncs are package time functions that read or act on the
+// wall clock. Pure conversions and types (Duration, ParseDuration, Unix
+// construction from explicit values) stay legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// forbiddenImports may not be imported at all by engine packages.
+var forbiddenImports = map[string]string{
+	"sync":        "engines are single-threaded; the environment serializes all calls",
+	"sync/atomic": "engines are single-threaded; the environment serializes all calls",
+}
+
+// Analyzer is the detcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detcheck",
+	Doc:  "forbid wall-clock time, global randomness, goroutines and locking in engine packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !EnginePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "engine package imports %s: %s", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(node.Pos(), "engine package starts a goroutine: the environment owns all concurrency")
+			case *ast.SelectorExpr:
+				checkSelector(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector flags uses of forbidden package-level functions. Keying
+// on the resolved object (not the source text) sees through import
+// renames like tm "time".
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // method, e.g. (*rand.Rand).Intn — injected source, legal
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "engine package calls time.%s: take time from Env.Now and timers from Env.SetTimer", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// New, NewSource, NewZipf, ... construct explicitly seeded
+		// generators; everything else drives the shared global one.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(sel.Pos(), "engine package uses the global math/rand generator (rand.%s): draw randomness from an injected seeded source", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package detcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"bftfast/internal/analysis"
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/detcheck"
+)
+
+// TestEnginePackage checks every seeded violation is reported and every
+// //bftvet:allow exemption is suppressed when the package is loaded under
+// an engine import path.
+func TestEnginePackage(t *testing.T) {
+	analysistest.Run(t, detcheck.Analyzer, "engine", "bftfast/internal/core")
+}
+
+// TestNonEnginePackage checks the same constructs go unreported outside
+// the engine-package set.
+func TestNonEnginePackage(t *testing.T) {
+	analysistest.Run(t, detcheck.Analyzer, "notengine", "bftfast/internal/notengine")
+}
+
+// TestBareAllowDirective checks that //bftvet:allow without a reason is
+// itself reported and suppresses nothing.
+func TestBareAllowDirective(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/badallow", "bftfast/internal/core")
+	if err != nil {
+		t.Fatalf("loading badallow: %v", err)
+	}
+	diags, err := analysis.Run(detcheck.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("running detcheck: %v", err)
+	}
+	var missingReason, timeNow bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "missing a reason") {
+			missingReason = true
+		}
+		if strings.Contains(d.Message, "time.Now") {
+			timeNow = true
+		}
+	}
+	if !missingReason {
+		t.Errorf("bare //bftvet:allow not reported; got %v", diags)
+	}
+	if !timeNow {
+		t.Errorf("bare //bftvet:allow suppressed the time.Now diagnostic; got %v", diags)
+	}
+}

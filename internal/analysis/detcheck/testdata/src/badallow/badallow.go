@@ -1,0 +1,12 @@
+// Package badallow seeds a bare //bftvet:allow directive with no reason,
+// which the framework itself reports. Checked by a direct unit test
+// rather than want comments (the expectation cannot trail the directive:
+// a // comment runs to end of line).
+package badallow
+
+import "time"
+
+func bad() time.Time {
+	//bftvet:allow
+	return time.Now()
+}

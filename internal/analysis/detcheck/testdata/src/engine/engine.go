@@ -1,0 +1,45 @@
+// Package engine seeds determinism-contract violations for the detcheck
+// analyzer. It is loaded under an engine import path by the test.
+package engine
+
+import (
+	"math/rand"
+	"sync"        // want `engine package imports sync`
+	"sync/atomic" // want `engine package imports sync/atomic`
+	tm "time"
+)
+
+var mu sync.Mutex
+var counter atomic.Int64
+
+// Violations: wall-clock reads and timers.
+func clocks() tm.Duration {
+	start := tm.Now()          // want `engine package calls time\.Now`
+	tm.Sleep(tm.Millisecond)   // want `engine package calls time\.Sleep`
+	<-tm.After(tm.Millisecond) // want `engine package calls time\.After`
+	return tm.Since(start)     // want `engine package calls time\.Since`
+}
+
+// Violations: global randomness and goroutines.
+func chaos() int {
+	go clocks() // want `engine package starts a goroutine`
+	return rand.Intn(10) // want `engine package uses the global math/rand generator \(rand\.Intn\)`
+}
+
+// Legal: explicitly seeded generators, Duration arithmetic, method calls
+// on an injected *rand.Rand.
+func legal(seed int64) tm.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return tm.Duration(rng.Int63()) % (3 * tm.Second)
+}
+
+// Suppressed: the escape hatch silences a violation with a reason.
+func exempted() tm.Time {
+	//bftvet:allow operator-facing log timestamp, never feeds protocol state
+	return tm.Now()
+}
+
+// Suppressed inline on the same line.
+func exemptedInline() tm.Time {
+	return tm.Now() //bftvet:allow log timestamp only
+}

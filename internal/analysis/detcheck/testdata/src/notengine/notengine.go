@@ -1,0 +1,21 @@
+// Package notengine contains the same constructs detcheck forbids in
+// engine packages. Loaded under a non-engine import path it must produce
+// no diagnostics: harnesses, transports and tooling use wall clocks and
+// goroutines legitimately.
+package notengine
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+func fine() time.Duration {
+	go func() { time.Sleep(time.Millisecond) }()
+	mu.Lock()
+	defer mu.Unlock()
+	_ = rand.Intn(10)
+	return time.Since(time.Now())
+}

@@ -1,0 +1,182 @@
+// Package envescape enforces the confinement half of the engine contract:
+// a proc.Env is valid only inside the node's own event context, so an
+// engine may keep it in its own state struct (the canonical `r.env = env`
+// in Init) but must not let it leak somewhere another goroutine could
+// call it. The analyzer reports a value of static type proc.Env that is
+//
+//   - stored into a field of a struct type declared in another package,
+//     or into a map, slice element, or package-level variable — homes the
+//     analyzer cannot see the serialization discipline of;
+//   - placed in a composite literal of a type declared in another package;
+//   - captured by a function literal that is started as a goroutine or
+//     passed as an argument to a function declared in another package
+//     (callbacks that outlive the event context).
+//
+// Passing an Env directly as a call argument stays legal: synchronous
+// calls (service SetEnv hooks, helpers) execute inside the event context.
+// Deliberate escapes are annotated //bftvet:allow <reason>.
+package envescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bftfast/internal/analysis"
+)
+
+// Analyzer is the envescape analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "envescape",
+	Doc:  "flag proc.Env values escaping into foreign structs, globals, or cross-boundary closures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, node)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, node)
+			case *ast.GoStmt:
+				checkClosure(pass, node.Call, "started as a goroutine")
+			case *ast.CallExpr:
+				checkCallArgs(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isEnvValue reports whether e has static type proc.Env.
+func isEnvValue(pass *analysis.Pass, e ast.Expr) bool {
+	return analysis.IsProcEnv(pass.TypesInfo.TypeOf(analysis.Unparen(e)))
+}
+
+// checkAssign flags Env values stored into foreign or shared locations.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // x, y = f() — a call result, not an Env identifier
+		}
+		if !isEnvValue(pass, as.Rhs[i]) {
+			continue
+		}
+		switch l := analysis.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if owner := fieldOwner(pass, l); owner != nil && !analysis.DeclaredInPackage(owner, pass.Pkg) {
+				pass.Reportf(as.Pos(), "proc.Env stored in a field of %s.%s, declared outside this package: an Env must stay confined to its engine", owner.Pkg().Name(), owner.Name())
+			}
+		case *ast.IndexExpr:
+			pass.Reportf(as.Pos(), "proc.Env stored in a map or slice element: an Env must stay confined to its engine")
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[l].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+				pass.Reportf(as.Pos(), "proc.Env stored in package-level variable %s: an Env must stay confined to its engine", v.Name())
+			}
+		}
+	}
+}
+
+// fieldOwner returns the type-name object of the struct whose field a
+// selector assignment writes, if resolvable.
+func fieldOwner(pass *analysis.Pass, sel *ast.SelectorExpr) *types.TypeName {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// checkCompositeLit flags Env values placed in composite literals of
+// foreign types.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return // local struct literal, slice or map literal: the element
+		// checks below still fire through checkAssign on stores
+	}
+	if analysis.DeclaredInPackage(named.Obj(), pass.Pkg) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if isEnvValue(pass, val) {
+			pass.Reportf(val.Pos(), "proc.Env placed in composite literal of %s.%s, declared outside this package: an Env must stay confined to its engine", named.Obj().Pkg().Name(), named.Obj().Name())
+		}
+	}
+}
+
+// checkCallArgs flags function literals that capture an Env and are handed
+// to a function declared in another package.
+func checkCallArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || analysis.DeclaredInPackage(callee, pass.Pkg) {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := analysis.Unparen(arg).(*ast.FuncLit); ok {
+			if name, pos, captured := capturesEnv(pass, lit); captured {
+				pass.Reportf(pos, "closure capturing proc.Env value %s is passed to %s.%s: the callback may run outside the engine's event context", name, callee.Pkg().Name(), callee.Name())
+			}
+		}
+	}
+}
+
+// checkClosure flags go statements whose function (or any argument)
+// captures an Env.
+func checkClosure(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if lit, ok := analysis.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if name, pos, captured := capturesEnv(pass, lit); captured {
+			pass.Reportf(pos, "closure capturing proc.Env value %s is %s: Env must not be retained across goroutines", name, how)
+		}
+	}
+	for _, arg := range call.Args {
+		if isEnvValue(pass, arg) {
+			pass.Reportf(arg.Pos(), "proc.Env passed to a function %s: Env must not be retained across goroutines", how)
+		}
+	}
+}
+
+// capturesEnv reports whether the function literal references a variable
+// of type proc.Env that is declared outside the literal itself.
+func capturesEnv(pass *analysis.Pass, lit *ast.FuncLit) (name string, pos token.Pos, captured bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !analysis.IsProcEnv(v.Type()) {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (parameter or local)
+		}
+		name, pos, captured = id.Name, id.Pos(), true
+		return false
+	})
+	return name, pos, captured
+}

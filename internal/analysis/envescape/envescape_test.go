@@ -1,0 +1,16 @@
+package envescape_test
+
+import (
+	"testing"
+
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/envescape"
+)
+
+// TestEscape checks foreign-struct stores, shared homes, goroutine
+// captures and cross-boundary closures are reported, while the canonical
+// own-struct store, direct synchronous argument passing, in-package
+// closures, and the //bftvet:allow exemption stay silent.
+func TestEscape(t *testing.T) {
+	analysistest.Run(t, envescape.Analyzer, "escape", "bftfast/internal/escapetest")
+}

@@ -1,0 +1,72 @@
+// Package escape seeds Env-confinement violations for the envescape
+// analyzer. fixture is the "foreign" package on the far side of the API
+// boundary.
+package escape
+
+import (
+	"time"
+
+	"bftfast/internal/analysis/fixture"
+	"bftfast/internal/proc"
+)
+
+// leaked is a shared home no event loop guards.
+var leaked proc.Env // declaring the variable is fine; storing into it is not
+
+// engine is this package's own type: keeping its Env is the canonical
+// pattern.
+type engine struct {
+	env proc.Env
+}
+
+// Legal: the engine stores its own Env in Init and passes it directly to
+// a synchronous call.
+func (e *engine) Init(env proc.Env) {
+	e.env = env
+	configure(env)
+}
+
+func configure(env proc.Env) { _ = env.Now() }
+
+// Violation: storing into a foreign struct's field.
+func foreignField(h *fixture.Holder, env proc.Env) {
+	h.Env = env // want `proc\.Env stored in a field of fixture\.Holder`
+}
+
+// Violation: foreign composite literal.
+func foreignLiteral(env proc.Env) *fixture.Holder {
+	return &fixture.Holder{Env: env} // want `proc\.Env placed in composite literal of fixture\.Holder`
+}
+
+// Violation: shared homes — package-level variable, map element.
+func sharedHomes(env proc.Env, m map[int]proc.Env) {
+	leaked = env // want `proc\.Env stored in package-level variable leaked`
+	m[0] = env   // want `proc\.Env stored in a map or slice element`
+}
+
+// Violation: goroutine capture.
+func goroutineCapture(env proc.Env) {
+	go func() {
+		_ = env.Now() // want `closure capturing proc\.Env value env is started as a goroutine`
+	}()
+}
+
+// Violation: Env-capturing closure handed across the API boundary.
+func crossBoundaryClosure(env proc.Env) {
+	fixture.Callback(func() {
+		env.SetTimer(1, time.Second) // want `closure capturing proc\.Env value env is passed to fixture\.Callback`
+	})
+}
+
+// Legal: a closure that captures the Env but stays inside this package.
+func localClosure(env proc.Env) {
+	run(func() { _ = env.Now() })
+}
+
+func run(fn func()) { fn() }
+
+// Suppressed: a deliberate escape with a reason.
+func exempted(h *fixture.Holder, env proc.Env) {
+	//bftvet:allow harness wiring at startup, before the event loop exists
+	h.Env = env
+}

@@ -1,0 +1,17 @@
+// Package fixture provides the foreign declarations the analyzer tests
+// need on the far side of a package boundary: a struct with a proc.Env
+// field and a callback-taking function. Declaring these is legal — the
+// envescape analyzer flags code that *stores* an Env into Holder or hands
+// an Env-capturing closure to Callback from another package, which is
+// exactly what its testdata does.
+package fixture
+
+import "bftfast/internal/proc"
+
+// Holder is a foreign struct with an Env-typed field.
+type Holder struct {
+	Env proc.Env
+}
+
+// Callback accepts a closure across the package boundary.
+func Callback(fn func()) { fn() }

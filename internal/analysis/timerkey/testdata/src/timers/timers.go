@@ -1,0 +1,41 @@
+// Package timers seeds timer-key violations for the timerkey analyzer:
+// SetTimer/CancelTimer keys must be compile-time constants.
+package timers
+
+import (
+	"time"
+
+	"bftfast/internal/proc"
+)
+
+// The canonical pattern: one const block owns the key namespace.
+const (
+	timerRetransmit = 1
+	timerGiveUp     = 2
+)
+
+type engine struct {
+	env  proc.Env
+	next int
+}
+
+// Legal: named constants, literals, and constant arithmetic.
+func (e *engine) legal() {
+	e.env.SetTimer(timerRetransmit, time.Second)
+	e.env.SetTimer(3, time.Second)
+	e.env.SetTimer(timerGiveUp+1, time.Second)
+	e.env.CancelTimer(timerRetransmit)
+}
+
+// Violations: keys computed at run time.
+func (e *engine) dynamic(reqID int) {
+	e.env.SetTimer(e.next, time.Second) // want `SetTimer called with a non-constant timer key`
+	e.env.SetTimer(timerGiveUp+reqID, time.Second) // want `SetTimer called with a non-constant timer key`
+	e.env.CancelTimer(e.next) // want `CancelTimer called with a non-constant timer key`
+}
+
+// Suppressed: a provably disjoint dynamic key space, annotated.
+func (e *engine) exempted(reqID int) {
+	//bftvet:allow request keys occupy 1000+, disjoint from the const block by construction
+	e.env.SetTimer(1000+reqID, time.Second)
+}

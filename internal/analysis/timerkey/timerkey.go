@@ -1,0 +1,50 @@
+// Package timerkey enforces static timer-key discipline: every
+// proc.Env.SetTimer and CancelTimer call must pass a compile-time
+// constant key. Timer keys are a flat per-node namespace — the view-change
+// timer, status ticker, key-rotation and recovery timers all share it —
+// so a key computed at runtime could silently collide with another
+// subsystem's key and cancel or re-arm the wrong timer (the transport
+// layer would then discard the legitimate expiry as stale). Constant keys
+// make collisions visible at the declaration site, where the engine
+// packages keep them in one const block.
+//
+// Runtime-computed keys that are provably disjoint (for example a
+// per-request key space) are annotated //bftvet:allow <reason>.
+package timerkey
+
+import (
+	"go/ast"
+
+	"bftfast/internal/analysis"
+)
+
+// Analyzer is the timerkey analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "timerkey",
+	Doc:  "require compile-time constant keys in Env.SetTimer/CancelTimer calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := analysis.ReceiverOfCall(call)
+			if !ok || (method != "SetTimer" && method != "CancelTimer") || len(call.Args) == 0 {
+				return true
+			}
+			if !analysis.IsProcEnv(pass.TypesInfo.TypeOf(recv)) {
+				return true
+			}
+			key := analysis.Unparen(call.Args[0])
+			if tv, ok := pass.TypesInfo.Types[key]; !ok || tv.Value == nil {
+				pass.Reportf(key.Pos(), "%s called with a non-constant timer key: timer keys share one per-node namespace, use a named constant", method)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package timerkey_test
+
+import (
+	"testing"
+
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/timerkey"
+)
+
+// TestTimerKeys checks run-time-computed keys are reported while named
+// constants, literals, constant arithmetic and the //bftvet:allow
+// exemption stay silent.
+func TestTimerKeys(t *testing.T) {
+	analysistest.Run(t, timerkey.Analyzer, "timers", "bftfast/internal/timertest")
+}

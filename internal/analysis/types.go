@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Well-known contract types. The analyzers key on these rather than on
+// method names alone, so user types that happen to have a Send method are
+// not implicated.
+const (
+	ProcPkgPath      = "bftfast/internal/proc"
+	TransportPkgPath = "bftfast/internal/transport"
+)
+
+// IsProcEnv reports whether t is proc.Env or a pointer to it.
+func IsProcEnv(t types.Type) bool {
+	return isNamed(t, ProcPkgPath, "Env")
+}
+
+// IsTransportNetwork reports whether t is transport.Network or a pointer
+// to it.
+func IsTransportNetwork(t types.Type) bool {
+	return isNamed(t, TransportPkgPath, "Network")
+}
+
+// isNamed reports whether t (or its pointee) is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ReceiverOfCall returns the receiver expression and method name if call
+// is a method call expressed as a selector (x.M(...)), else nil.
+func ReceiverOfCall(call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// CalleeFunc resolves the called function object, if statically known.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// DeclaredInPackage reports whether the object was declared in pkg.
+func DeclaredInPackage(obj types.Object, pkg *types.Package) bool {
+	return obj != nil && obj.Pkg() == pkg
+}
+
+// Unparen strips redundant parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

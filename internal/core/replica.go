@@ -156,7 +156,11 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 	}, nil
 }
 
-// Stats returns a copy of the replica's progress counters.
+// Stats returns a copy of the replica's progress counters. Like every
+// engine method it must run in the node's event context: the counters are
+// plain fields mutated by the event loop (the determinism contract forbids
+// locking inside engines), so wall-time callers read them through an
+// injected action — transport.Node.Do — as bft.Replica.Stats does.
 func (r *Replica) Stats() Counters { return r.stats }
 
 // View returns the replica's current view.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // maxDatagram bounds UDP reads; the protocol's largest normal-case
@@ -20,7 +21,15 @@ type UDPNetwork struct {
 	mu    sync.Mutex
 	conns map[int]*net.UDPConn
 	wg    sync.WaitGroup
+
+	oversized atomic.Int64
 }
+
+// Oversized reports how many inbound datagrams were dropped because they
+// filled the entire read buffer and may have been truncated by the kernel.
+// A nonzero count means a peer sends datagrams at or above maxDatagram and
+// the limit needs raising in lockstep on every node.
+func (u *UDPNetwork) Oversized() int64 { return u.oversized.Load() }
 
 // NewUDPNetwork builds a network from a node-id to address table.
 func NewUDPNetwork(addrs map[int]string) (*UDPNetwork, error) {
@@ -59,12 +68,27 @@ func (u *UDPNetwork) Register(id int, recv func(data []byte)) error {
 			if err != nil {
 				return // closed
 			}
-			data := make([]byte, n)
-			copy(data, buf[:n])
-			recv(data)
+			u.deliver(buf, n, recv)
 		}
 	}()
 	return nil
+}
+
+// deliver copies one received datagram of length n out of the reader's
+// buffer and hands it to recv — unless it filled the buffer completely,
+// in which case the kernel may have cut it off. Delivering that would
+// hand the engine a silently truncated message, violating the "dropped,
+// delayed, or duplicated, but not truncated midway" datagram promise of
+// proc.Env, so the datagram is dropped and counted instead (the protocol
+// retransmits).
+func (u *UDPNetwork) deliver(buf []byte, n int, recv func(data []byte)) {
+	if n >= len(buf) {
+		u.oversized.Add(1)
+		return
+	}
+	data := make([]byte, n)
+	copy(data, buf[:n])
+	recv(data)
 }
 
 // Unregister implements Network: closes the node's socket, stopping its

@@ -1,0 +1,50 @@
+package transport
+
+import "testing"
+
+// TestUDPDeliverDropsBufferFillingDatagram checks the truncation guard: a
+// read that fills the entire buffer may have been cut off by the kernel,
+// and datagram semantics promise "not truncated midway" — so it must be
+// dropped and counted, never delivered. A real socket cannot produce the
+// condition on IPv4 (payloads cap at 65507 < maxDatagram), so the
+// decision is driven directly.
+func TestUDPDeliverDropsBufferFillingDatagram(t *testing.T) {
+	u := &UDPNetwork{}
+	buf := make([]byte, maxDatagram)
+
+	delivered := 0
+	u.deliver(buf, maxDatagram, func([]byte) { delivered++ })
+	if delivered != 0 {
+		t.Fatal("buffer-filling datagram was delivered despite possible truncation")
+	}
+	if got := u.Oversized(); got != 1 {
+		t.Fatalf("Oversized() = %d, want 1", got)
+	}
+
+	u.deliver(buf, maxDatagram-1, func(data []byte) {
+		delivered++
+		if len(data) != maxDatagram-1 {
+			t.Fatalf("delivered %d bytes, want %d", len(data), maxDatagram-1)
+		}
+	})
+	if delivered != 1 {
+		t.Fatal("maximum-size untruncated datagram was not delivered")
+	}
+	if got := u.Oversized(); got != 1 {
+		t.Fatalf("Oversized() = %d after legal delivery, want 1", got)
+	}
+}
+
+// TestUDPDeliverCopiesOutOfReadBuffer checks delivery hands the engine a
+// private copy: the reader immediately reuses its buffer for the next
+// ReadFromUDP, so aliasing it would corrupt earlier messages.
+func TestUDPDeliverCopiesOutOfReadBuffer(t *testing.T) {
+	u := &UDPNetwork{}
+	buf := []byte("first-datagram..padding")
+	var got []byte
+	u.deliver(buf, 5, func(data []byte) { got = data })
+	copy(buf, "XXXXX")
+	if string(got) != "first" {
+		t.Fatalf("delivered data aliases the read buffer: %q", got)
+	}
+}
