@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race bench figures fs-figures examples clean
+.PHONY: all build lint test test-race bench bench-host figures fs-figures examples clean
 
 all: build lint test
 
@@ -31,6 +31,12 @@ test-race:
 # Every paper figure at reduced resolution (a few minutes).
 bench:
 	$(GO) test -bench=. -benchmem -run nope .
+
+# Host-performance microbenchmarks (internal/hostbench): wall-clock cost of
+# the codec, MAC, and event-kernel hot paths, written to BENCH_host.json.
+# Compare two reports with: go run ./cmd/bench-host -compare OLD NEW
+bench-host:
+	$(GO) run ./cmd/bench-host -out BENCH_host.json
 
 # Full-resolution micro-benchmark figures (Figures 2-7 + §4.4; ~6 min).
 figures:

@@ -29,10 +29,17 @@ const benchScale = 0.25
 // benchClients is the client grid used by throughput sweeps here.
 var benchClients = []int{1, 5, 10, 20, 50, 100, 200}
 
-func cell(t *bench.Table, row, col int) float64 {
+// cell parses one table cell as a number, failing the benchmark loudly on
+// malformed output — a silent 0 would report a figure metric that looks
+// plausible instead of flagging the broken table.
+func cell(b *testing.B, t *bench.Table, row, col int) float64 {
+	b.Helper()
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		b.Fatalf("table %q has no cell (%d,%d)", t.Title, row, col)
+	}
 	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
 	if err != nil {
-		return 0
+		b.Fatalf("table %q cell (%d,%d) = %q is not numeric: %v", t.Title, row, col, t.Rows[row][col], err)
 	}
 	return v
 }
@@ -45,8 +52,8 @@ func BenchmarkFigure2(b *testing.B) {
 		t = bench.Figure2(benchScale)
 	}
 	t.Print(os.Stdout)
-	b.ReportMetric(cell(t, 0, 4), "slowdown@0B")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 4), "slowdown@8KB")
+	b.ReportMetric(cell(b, t, 0, 4), "slowdown@0B")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 4), "slowdown@8KB")
 }
 
 // BenchmarkFigure3 reproduces Figure 3: the cost of tolerating two faults
@@ -58,8 +65,8 @@ func BenchmarkFigure3(b *testing.B) {
 		t = bench.Figure3(benchScale)
 	}
 	t.Print(os.Stdout)
-	b.ReportMetric(cell(t, 0, 5), "f2-slowdown@8B")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 5), "f2-slowdown@8KB")
+	b.ReportMetric(cell(b, t, 0, 5), "f2-slowdown@8B")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 5), "f2-slowdown@8KB")
 }
 
 // benchFigure4 runs one of Figure 4's three operations.
@@ -70,9 +77,9 @@ func benchFigure4(b *testing.B, op string, metric string) {
 	}
 	t.Print(os.Stdout)
 	last := len(t.Rows) - 1
-	b.ReportMetric(cell(t, last, 1), metric+"-rw-ops/s")
-	b.ReportMetric(cell(t, last, 2), metric+"-ro-ops/s")
-	b.ReportMetric(cell(t, last, 3), metric+"-norep-ops/s")
+	b.ReportMetric(cell(b, t, last, 1), metric+"-rw-ops/s")
+	b.ReportMetric(cell(b, t, last, 2), metric+"-ro-ops/s")
+	b.ReportMetric(cell(b, t, last, 3), metric+"-norep-ops/s")
 }
 
 // BenchmarkFigure4_00 reproduces Figure 4's 0/0 panel (CPU-bound ops).
@@ -96,7 +103,7 @@ func BenchmarkFigure5(b *testing.B) {
 	lat.Print(os.Stdout)
 	thr.Print(os.Stdout)
 	last := len(thr.Rows) - 1
-	withT, withoutT := cell(thr, last, 1), cell(thr, last, 2)
+	withT, withoutT := cell(b, thr, last, 1), cell(b, thr, last, 2)
 	if withoutT > 0 {
 		b.ReportMetric(withT/withoutT, "digest-replies-gain")
 	}
@@ -111,7 +118,7 @@ func BenchmarkFigure6(b *testing.B) {
 	}
 	t.Print(os.Stdout)
 	last := len(t.Rows) - 1
-	with, without := cell(t, last, 1), cell(t, last, 2)
+	with, without := cell(b, t, last, 1), cell(b, t, last, 2)
 	if without > 0 {
 		b.ReportMetric(with/without, "batching-gain")
 	}
@@ -128,7 +135,7 @@ func BenchmarkFigure7(b *testing.B) {
 	lat.Print(os.Stdout)
 	thr.Print(os.Stdout)
 	lastL := len(lat.Rows) - 1
-	with, without := cell(lat, lastL, 1), cell(lat, lastL, 2)
+	with, without := cell(b, lat, lastL, 1), cell(b, lat, lastL, 2)
 	if without > 0 {
 		b.ReportMetric(100*(1-with/without), "srt-latency-saving-%")
 	}
@@ -142,7 +149,7 @@ func BenchmarkTentativeExecution(b *testing.B) {
 		t = bench.TentativeExecution(benchScale)
 	}
 	t.Print(os.Stdout)
-	with, without := cell(t, 0, 1), cell(t, 0, 2)
+	with, without := cell(b, t, 0, 1), cell(b, t, 0, 2)
 	if without > 0 {
 		b.ReportMetric(100*(1-with/without), "tentative-saving-%")
 	}
@@ -157,8 +164,8 @@ func BenchmarkPiggybackCommit(b *testing.B) {
 	}
 	t.Print(os.Stdout)
 	first, last := 0, len(t.Rows)-1
-	w0, s0 := cell(t, first, 1), cell(t, first, 2)
-	wN, sN := cell(t, last, 1), cell(t, last, 2)
+	w0, s0 := cell(b, t, first, 1), cell(b, t, first, 2)
+	wN, sN := cell(b, t, last, 1), cell(b, t, last, 2)
 	if s0 > 0 {
 		b.ReportMetric(100*(w0/s0-1), "piggyback-gain@5-%")
 	}
@@ -189,8 +196,8 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 	t.Print(os.Stdout)
 	for r := range t.Rows {
-		b.ReportMetric(cell(t, r, 4), fmt.Sprintf("bfs/norep@%s", t.Rows[r][0]))
-		b.ReportMetric(cell(t, r, 5), fmt.Sprintf("bfs/nfsstd@%s", t.Rows[r][0]))
+		b.ReportMetric(cell(b, t, r, 4), fmt.Sprintf("bfs/norep@%s", t.Rows[r][0]))
+		b.ReportMetric(cell(b, t, r, 5), fmt.Sprintf("bfs/nfsstd@%s", t.Rows[r][0]))
 	}
 }
 
@@ -207,7 +214,7 @@ func BenchmarkFigure9(b *testing.B) {
 		t = bench.Figure9(cfg)
 	}
 	t.Print(os.Stdout)
-	bfsT, nrT, stdT := cell(t, 0, 1), cell(t, 1, 1), cell(t, 2, 1)
+	bfsT, nrT, stdT := cell(b, t, 0, 1), cell(b, t, 1, 1), cell(b, t, 2, 1)
 	if nrT > 0 {
 		b.ReportMetric(100*(1-bfsT/nrT), "bfs-below-norep-%")
 	}
@@ -224,8 +231,8 @@ func BenchmarkAblationWindow(b *testing.B) {
 		t = bench.AblationWindow(50, benchScale)
 	}
 	t.Print(os.Stdout)
-	b.ReportMetric(cell(t, 0, 1), "ops/s@W=1")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 1), "ops/s@W=32")
+	b.ReportMetric(cell(b, t, 0, 1), "ops/s@W=1")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 1), "ops/s@W=32")
 }
 
 // BenchmarkAblationCheckpointInterval sweeps the checkpoint period K.
@@ -235,8 +242,8 @@ func BenchmarkAblationCheckpointInterval(b *testing.B) {
 		t = bench.AblationCheckpointInterval(50, benchScale)
 	}
 	t.Print(os.Stdout)
-	b.ReportMetric(cell(t, 0, 1), "ops/s@K=16")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 1), "ops/s@K=256")
+	b.ReportMetric(cell(b, t, 0, 1), "ops/s@K=16")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 1), "ops/s@K=256")
 }
 
 // BenchmarkAblationInlineThreshold sweeps the separate-request-transmission
@@ -247,6 +254,6 @@ func BenchmarkAblationInlineThreshold(b *testing.B) {
 		t = bench.AblationInlineThreshold(benchScale)
 	}
 	t.Print(os.Stdout)
-	b.ReportMetric(cell(t, 1, 1), "latency_ms@255B")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 1), "latency_ms@inline")
+	b.ReportMetric(cell(b, t, 1, 1), "latency_ms@255B")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 1), "latency_ms@inline")
 }

@@ -93,6 +93,14 @@ type Client struct {
 	// the overload — congestion collapse.
 	srtt time.Duration
 
+	// Hot-path scratch state (the engine is single-threaded): a reusable
+	// encoder list, the cached all-replicas destination slice, a reusable
+	// request authenticator, and a decode-into reply.
+	enc         message.EncoderList
+	all         []int
+	authScratch crypto.Authenticator
+	replyScratch message.Reply
+
 	stats ClientStats
 }
 
@@ -123,11 +131,16 @@ func NewClient(cfg ClientConfig, keys *crypto.KeyTable, meter crypto.Meter) (*Cl
 	if cfg.RetransmitTimeout <= 0 {
 		cfg.RetransmitTimeout = 150 * time.Millisecond
 	}
+	all := make([]int, cfg.N)
+	for i := range all {
+		all[i] = i
+	}
 	return &Client{
 		cfg:         cfg,
 		suite:       crypto.NewSuite(keys, meter),
 		ts:          cfg.TimestampBase,
 		jitterState: uint64(cfg.Self)*0x9e3779b97f4a7c15 + 1,
+		all:         all,
 	}, nil
 }
 
@@ -186,24 +199,23 @@ func (c *Client) transmit(p *pendingOp, retransmit bool) {
 	if retransmit {
 		req.Replier = message.AllReplicas
 	}
-	d := req.ContentDigest(c.suite)
-	req.Auth = c.suite.Auth(c.cfg.N, d[:])
-	raw := message.Marshal(req)
+	e := c.enc.Get()
+	d := req.ContentDigestWith(c.suite, e)
+	c.authScratch = c.suite.AuthInto(c.authScratch, c.cfg.N, d[:])
+	req.Auth = c.authScratch
+	raw := message.MarshalWith(&c.enc, req)
+	c.enc.Put(e)
 
-	all := make([]int, c.cfg.N)
-	for i := range all {
-		all[i] = i
-	}
 	switch {
 	case retransmit, req.ReadOnly:
 		// Read-only requests go everywhere by design; retransmissions go
 		// everywhere to route around a faulty primary or replier.
-		c.env.Multicast(all, raw)
+		c.env.Multicast(c.all, raw)
 	case c.cfg.Opts.SeparateRequests && len(raw) > c.cfg.InlineThreshold:
 		// Separate request transmission: all replicas receive and
 		// authenticate the body in parallel; the pre-prepare will carry
 		// only its digest.
-		c.env.Multicast(all, raw)
+		c.env.Multicast(c.all, raw)
 	default:
 		c.env.Send(c.primary(), raw)
 	}
@@ -213,19 +225,15 @@ func (c *Client) transmit(p *pendingOp, retransmit bool) {
 // accepted replies.
 func (c *Client) primary() int { return int(c.view % int64(c.cfg.N)) }
 
-// Receive implements proc.Handler.
+// Receive implements proc.Handler. Replies — the only message a client
+// accepts — decode into a reused scratch value; the retained Result bytes
+// alias data, which the engine owns.
 func (c *Client) Receive(data []byte) {
-	m, err := message.Unmarshal(data)
-	if err != nil {
+	if err := message.UnmarshalReplyInto(data, &c.replyScratch); err != nil {
 		c.stats.Rejected++
 		return
 	}
-	rep, ok := m.(*message.Reply)
-	if !ok {
-		c.stats.Rejected++
-		return
-	}
-	c.onReply(rep)
+	c.onReply(&c.replyScratch)
 }
 
 func (c *Client) onReply(rep *message.Reply) {
@@ -238,7 +246,10 @@ func (c *Client) onReply(rep *message.Reply) {
 		c.stats.Rejected++
 		return
 	}
-	if !c.suite.VerifyMAC(sender, rep.MAC, rep.AuthContent()) {
+	e := c.enc.Get()
+	authOK := c.suite.VerifyMAC(sender, rep.MAC, rep.AuthContentInto(e))
+	c.enc.Put(e)
+	if !authOK {
 		c.stats.Rejected++
 		return
 	}

@@ -134,7 +134,9 @@ func (r *Replica) sendReply(req *message.Request, stored *message.Reply) {
 	if full {
 		rep.Result = stored.Result
 	}
-	mac, ok := r.suite.MAC(int(rep.Client), rep.AuthContent())
+	e := r.enc.Get()
+	mac, ok := r.suite.MAC(int(rep.Client), rep.AuthContentInto(e))
+	r.enc.Put(e)
 	if !ok {
 		return // no session key with this client yet
 	}
@@ -181,7 +183,9 @@ func (r *Replica) executeReadOnly(req *message.Request) {
 
 // deliverReply MACs and sends an already-built reply.
 func (r *Replica) deliverReply(rep *message.Reply) {
-	mac, ok := r.suite.MAC(int(rep.Client), rep.AuthContent())
+	e := r.enc.Get()
+	mac, ok := r.suite.MAC(int(rep.Client), rep.AuthContentInto(e))
+	r.enc.Put(e)
 	if !ok {
 		return
 	}
@@ -307,7 +311,10 @@ func (r *Replica) takeCheckpoint(seq int64) {
 	}
 	r.recordCheckpoint(seq, int32(r.cfg.Self), d)
 	ck := &message.Checkpoint{Seq: seq, StateD: d, Replica: int32(r.cfg.Self)}
-	ck.Auth = r.suite.Auth(r.cfg.N, ck.AuthContent())
+	e := r.enc.Get()
+	r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, ck.AuthContentInto(e))
+	ck.Auth = r.authScratch
+	r.enc.Put(e)
 	r.broadcast(ck)
 	r.checkStable(seq, d)
 }
@@ -318,7 +325,10 @@ func (r *Replica) onCheckpoint(c *message.Checkpoint) {
 	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self || c.Seq <= r.lastStable {
 		return
 	}
-	if !r.suite.VerifyAuth(sender, c.Auth, c.AuthContent()) {
+	e := r.enc.Get()
+	ok := r.suite.VerifyAuth(sender, c.Auth, c.AuthContentInto(e))
+	r.enc.Put(e)
+	if !ok {
 		r.stats.DroppedMessages++
 		return
 	}

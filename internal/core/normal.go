@@ -12,7 +12,9 @@ func (r *Replica) onRequest(req *message.Request, raw []byte) {
 		r.stats.DroppedMessages++
 		return
 	}
-	d := req.ContentDigest(r.suite)
+	e := r.enc.Get()
+	d := req.ContentDigestWith(r.suite, e)
+	r.enc.Put(e)
 	if !r.suite.VerifyAuth(int(req.Client), req.Auth, d[:]) {
 		r.stats.DroppedMessages++
 		return
@@ -131,20 +133,24 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 	reqDigests := make([]crypto.Digest, len(pp.Refs))
 	requests := make([]*message.Request, len(pp.Refs))
 	missing := 0
+	e := r.enc.Get()
 	for i, ref := range pp.Refs {
 		if ref.Inline != nil {
 			m, err := message.Unmarshal(ref.Inline)
 			if err != nil {
+				r.enc.Put(e)
 				r.stats.DroppedMessages++
 				return
 			}
 			req, ok := m.(*message.Request)
 			if !ok {
+				r.enc.Put(e)
 				r.stats.DroppedMessages++
 				return
 			}
-			d := req.ContentDigest(r.suite)
+			d := req.ContentDigestWith(r.suite, e)
 			if !r.suite.VerifyAuth(int(req.Client), req.Auth, d[:]) {
+				r.enc.Put(e)
 				r.stats.DroppedMessages++
 				return
 			}
@@ -159,10 +165,12 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 			missing++
 		}
 	}
-	batch := message.BatchDigest(r.suite, reqDigests)
-	content := message.OrderContentWithCommits(pp.View, pp.Seq, batch, pp.Commits)
+	batch := message.BatchDigestWith(r.suite, e, reqDigests)
+	content := message.OrderContentWithCommitsInto(e, pp.View, pp.Seq, batch, pp.Commits)
 	primary := r.cfg.PrimaryOf(pp.View)
-	if !r.suite.VerifyAuth(primary, pp.Auth, content) {
+	ok := r.suite.VerifyAuth(primary, pp.Auth, content)
+	r.enc.Put(e)
+	if !ok {
 		r.stats.DroppedMessages++
 		return
 	}
@@ -208,8 +216,11 @@ func (r *Replica) onSlotResolved(s *slot) {
 			Replica: int32(r.cfg.Self),
 			Commits: r.takePiggybackCommits(),
 		}
-		content := message.OrderContentWithCommits(prep.View, prep.Seq, prep.Digest, prep.Commits)
-		prep.Auth = r.suite.Auth(r.cfg.N, content)
+		e := r.enc.Get()
+		content := message.OrderContentWithCommitsInto(e, prep.View, prep.Seq, prep.Digest, prep.Commits)
+		r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, content)
+		prep.Auth = r.authScratch
+		r.enc.Put(e)
 		r.broadcast(prep)
 		s.addPrepare(s.batchDigest, int32(r.cfg.Self))
 	}
@@ -226,8 +237,11 @@ func (r *Replica) onPrepare(p *message.Prepare) {
 		r.stats.DroppedMessages++
 		return
 	}
-	content := message.OrderContentWithCommits(p.View, p.Seq, p.Digest, p.Commits)
-	if !r.suite.VerifyAuth(sender, p.Auth, content) {
+	e := r.enc.Get()
+	content := message.OrderContentWithCommitsInto(e, p.View, p.Seq, p.Digest, p.Commits)
+	ok := r.suite.VerifyAuth(sender, p.Auth, content)
+	r.enc.Put(e)
+	if !ok {
 		r.stats.DroppedMessages++
 		return
 	}
@@ -248,7 +262,10 @@ func (r *Replica) onCommit(c *message.Commit) {
 		r.stats.DroppedMessages++
 		return
 	}
-	if !r.suite.VerifyAuth(sender, c.Auth, message.OrderContent(c.View, c.Seq, c.Digest)) {
+	e := r.enc.Get()
+	ok := r.suite.VerifyAuth(sender, c.Auth, message.OrderContentInto(e, c.View, c.Seq, c.Digest))
+	r.enc.Put(e)
+	if !ok {
 		r.stats.DroppedMessages++
 		return
 	}
@@ -298,7 +315,10 @@ func (r *Replica) advance(s *slot) {
 // sendCommit multicasts a standalone commit for s.
 func (r *Replica) sendCommit(s *slot) {
 	c := &message.Commit{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
-	c.Auth = r.suite.Auth(r.cfg.N, message.OrderContent(c.View, c.Seq, c.Digest))
+	e := r.enc.Get()
+	r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, message.OrderContentInto(e, c.View, c.Seq, c.Digest))
+	c.Auth = r.authScratch
+	r.enc.Put(e)
 	r.broadcast(c)
 }
 
@@ -411,10 +431,14 @@ func (r *Replica) sendPrePrepare(batch []*bufferedRequest) {
 		}
 		r.inFlight[buf.digest] = seq
 	}
-	batchD := message.BatchDigest(r.suite, reqDigests)
+	e := r.enc.Get()
+	batchD := message.BatchDigestWith(r.suite, e, reqDigests)
 	pp := &message.PrePrepare{View: r.view, Seq: seq, Refs: refs, Commits: r.takePiggybackCommits()}
-	content := message.OrderContentWithCommits(pp.View, pp.Seq, batchD, pp.Commits)
+	content := message.OrderContentWithCommitsInto(e, pp.View, pp.Seq, batchD, pp.Commits)
+	// The pre-prepare's authenticator is retained in the slot (s.ppAuth),
+	// so it must be freshly allocated, not scratch.
 	pp.Auth = r.suite.Auth(r.cfg.N, content)
+	r.enc.Put(e)
 	r.broadcast(pp)
 
 	s := r.getSlot(seq)

@@ -100,6 +100,18 @@ type Replica struct {
 	statusTicks    int64
 	lastStatusMark [3]int64 // (view, lastExec, lastCommittedExec) at the previous status tick
 
+	// Hot-path scratch state (engine-local, reused per message; see the
+	// "Host performance architecture" section of DESIGN.md). peers caches
+	// otherReplicas(); callers must not mutate it. prepScratch/commitScratch
+	// receive decode-into for the transient ordering messages; authScratch
+	// cycles through outgoing authenticators of messages the replica does
+	// not retain.
+	enc           message.EncoderList
+	peers         []int
+	prepScratch   message.Prepare
+	commitScratch message.Commit
+	authScratch   crypto.Authenticator
+
 	stats Counters
 }
 
@@ -132,6 +144,12 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 	if rng == nil {
 		rng = rand.New(rand.NewSource(int64(cfg.Self) + 1)) //nolint:gosec // unused unless rotation is on
 	}
+	peers := make([]int, 0, cfg.N-1)
+	for i := 0; i < cfg.N; i++ {
+		if i != cfg.Self {
+			peers = append(peers, i)
+		}
+	}
 	return &Replica{
 		cfg:   cfg,
 		suite: crypto.NewSuite(keys, meter),
@@ -153,6 +171,7 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 		vcs:         make(map[int64]map[int32]*vcRecord),
 		pendingAcks: make(map[int64]map[int32]map[int32]crypto.Digest),
 		stChunks:    make(map[int64]*chunkedSnapshot),
+		peers:       peers,
 	}, nil
 }
 
@@ -176,16 +195,9 @@ func (r *Replica) StateMachine() StateMachine { return r.sm }
 // isPrimary reports whether this replica is the primary of its view.
 func (r *Replica) isPrimary() bool { return r.cfg.PrimaryOf(r.view) == r.cfg.Self }
 
-// otherReplicas lists every replica id except this one.
-func (r *Replica) otherReplicas() []int {
-	out := make([]int, 0, r.cfg.N-1)
-	for i := 0; i < r.cfg.N; i++ {
-		if i != r.cfg.Self {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+// otherReplicas lists every replica id except this one. The returned slice
+// is cached; callers must not mutate it.
+func (r *Replica) otherReplicas() []int { return r.peers }
 
 // Init implements proc.Handler.
 func (r *Replica) Init(env proc.Env) {
@@ -213,6 +225,29 @@ func (r *Replica) Init(env proc.Env) {
 
 // Receive implements proc.Handler.
 func (r *Replica) Receive(data []byte) {
+	// Fast paths for the two transient ordering messages: decode into
+	// engine-owned scratch values, reusing their slice capacity. Safe only
+	// because onPrepare/onCommit retain nothing from the message (the
+	// pre-prepare, whose Auth and Commits ARE retained in the slot, must
+	// take the allocating path).
+	if len(data) > 0 {
+		switch message.Type(data[0]) {
+		case message.TypePrepare:
+			if err := message.UnmarshalPrepareInto(data, &r.prepScratch); err != nil {
+				r.stats.DroppedMessages++
+				return
+			}
+			r.onPrepare(&r.prepScratch)
+			return
+		case message.TypeCommit:
+			if err := message.UnmarshalCommitInto(data, &r.commitScratch); err != nil {
+				r.stats.DroppedMessages++
+				return
+			}
+			r.onCommit(&r.commitScratch)
+			return
+		}
+	}
 	m, err := message.Unmarshal(data)
 	if err != nil {
 		r.stats.DroppedMessages++
@@ -273,14 +308,15 @@ func (r *Replica) OnTimer(key int) {
 	}
 }
 
-// send marshals and unicasts m.
+// send marshals and unicasts m. The wire buffer is a fresh exact-size
+// clone (the environment owns sent buffers); only the encoder is reused.
 func (r *Replica) send(dst int, m message.Message) {
-	r.env.Send(dst, message.Marshal(m))
+	r.env.Send(dst, message.MarshalWith(&r.enc, m))
 }
 
 // broadcast marshals and multicasts m to all other replicas.
 func (r *Replica) broadcast(m message.Message) {
-	r.env.Multicast(r.otherReplicas(), message.Marshal(m))
+	r.env.Multicast(r.peers, message.MarshalWith(&r.enc, m))
 }
 
 // getSlot returns the log slot for seq, creating it if needed.

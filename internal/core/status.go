@@ -71,7 +71,10 @@ func (r *Replica) statusTick() {
 		LastExec:     r.lastCommittedExec,
 		Replica:      int32(r.cfg.Self),
 	}
-	s.Auth = r.suite.Auth(r.cfg.N, s.AuthContent())
+	e := r.enc.Get()
+	r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, s.AuthContentInto(e))
+	s.Auth = r.authScratch
+	r.enc.Put(e)
 	r.broadcast(s)
 	// Re-fetch bodies for any new-view batches still unknown.
 	for n, slot := range r.log {
@@ -92,12 +95,18 @@ func (r *Replica) statusTick() {
 			resent++
 			if s.sentPrepare {
 				prep := &message.Prepare{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
-				prep.Auth = r.suite.Auth(r.cfg.N, message.OrderContentWithCommits(prep.View, prep.Seq, prep.Digest, nil))
+				e := r.enc.Get()
+				r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, message.OrderContentWithCommitsInto(e, prep.View, prep.Seq, prep.Digest, nil))
+				prep.Auth = r.authScratch
+				r.enc.Put(e)
 				r.broadcast(prep)
 			}
 			if s.sentCommit {
 				c := &message.Commit{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
-				c.Auth = r.suite.Auth(r.cfg.N, message.OrderContent(c.View, c.Seq, c.Digest))
+				e := r.enc.Get()
+				r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, message.OrderContentInto(e, c.View, c.Seq, c.Digest))
+				c.Auth = r.authScratch
+				r.enc.Put(e)
 				r.broadcast(c)
 			}
 			if r.isPrimary() {
@@ -128,8 +137,12 @@ func (r *Replica) rebuildPrePrepares(s *slot) []*message.PrePrepare {
 	auth := s.ppAuth
 	if auth == nil {
 		// We proposed this batch; authenticate the retransmission fresh.
-		content := message.OrderContentWithCommits(s.view, s.seq, s.batchDigest, s.ppCommits)
+		// The authenticator outlives this call (it is shared by every
+		// rebuilt chunk), so it cannot use the replica's scratch.
+		e := r.enc.Get()
+		content := message.OrderContentWithCommitsInto(e, s.view, s.seq, s.batchDigest, s.ppCommits)
 		auth = r.suite.Auth(r.cfg.N, content)
+		r.enc.Put(e)
 	}
 	var out []*message.PrePrepare
 	next := 0
@@ -141,7 +154,7 @@ func (r *Replica) rebuildPrePrepares(s *slot) []*message.PrePrepare {
 		budget := retransmitChunkBudget
 		progressed := false
 		for ; next < len(s.requests); next++ {
-			raw := message.Marshal(s.requests[next])
+			raw := message.MarshalWith(&r.enc, s.requests[next])
 			if progressed && len(raw) > budget {
 				break
 			}
@@ -218,7 +231,10 @@ func (r *Replica) onStatus(s *message.Status) {
 	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self {
 		return
 	}
-	if !r.suite.VerifyAuth(sender, s.Auth, s.AuthContent()) {
+	e := r.enc.Get()
+	authOK := r.suite.VerifyAuth(sender, s.Auth, s.AuthContentInto(e))
+	r.enc.Put(e)
+	if !authOK {
 		r.stats.DroppedMessages++
 		return
 	}
@@ -236,7 +252,10 @@ func (r *Replica) onStatus(s *message.Status) {
 	// the log window would jam permanently once h+L filled).
 	if own := r.latestOwnCheckpointAbove(s.LastStable); own > 0 {
 		ck := &message.Checkpoint{Seq: own, StateD: r.checkpoints[own][int32(r.cfg.Self)], Replica: int32(r.cfg.Self)}
-		ck.Auth = r.suite.Auth(r.cfg.N, ck.AuthContent())
+		e := r.enc.Get()
+		r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, ck.AuthContentInto(e))
+		ck.Auth = r.authScratch
+		r.enc.Put(e)
 		r.send(sender, ck)
 	}
 
@@ -305,12 +324,18 @@ func (r *Replica) retransmitSlot(dst int, s *slot) {
 
 	if s.sentPrepare {
 		prep := &message.Prepare{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
-		prep.Auth = r.suite.Auth(r.cfg.N, message.OrderContentWithCommits(prep.View, prep.Seq, prep.Digest, nil))
+		e := r.enc.Get()
+		r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, message.OrderContentWithCommitsInto(e, prep.View, prep.Seq, prep.Digest, nil))
+		prep.Auth = r.authScratch
+		r.enc.Put(e)
 		r.send(dst, prep)
 	}
 	if s.sentCommit {
 		c := &message.Commit{View: s.view, Seq: s.seq, Digest: s.batchDigest, Replica: int32(r.cfg.Self)}
-		c.Auth = r.suite.Auth(r.cfg.N, message.OrderContent(c.View, c.Seq, c.Digest))
+		e := r.enc.Get()
+		r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, message.OrderContentInto(e, c.View, c.Seq, c.Digest))
+		c.Auth = r.authScratch
+		r.enc.Put(e)
 		r.send(dst, c)
 	}
 }

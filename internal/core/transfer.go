@@ -57,7 +57,10 @@ func (r *Replica) sendFetch(level int32, index int64) {
 		seq = r.st.meta.Seq
 	}
 	f := &message.Fetch{Level: level, Index: index, Seq: seq, Replica: int32(r.cfg.Self)}
-	f.Auth = r.suite.Auth(r.cfg.N, f.AuthContent())
+	e := r.enc.Get()
+	r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, f.AuthContentInto(e))
+	f.Auth = r.authScratch
+	r.enc.Put(e)
 	if level == 0 {
 		r.broadcast(f)
 	} else {
@@ -69,7 +72,10 @@ func (r *Replica) sendFetch(level int32, index int64) {
 // new-view whose bodies this replica never saw.
 func (r *Replica) fetchBatch(seq int64) {
 	f := &message.Fetch{Level: -1, Index: seq, Seq: r.lastStable, Replica: int32(r.cfg.Self)}
-	f.Auth = r.suite.Auth(r.cfg.N, f.AuthContent())
+	e := r.enc.Get()
+	r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, f.AuthContentInto(e))
+	f.Auth = r.authScratch
+	r.enc.Put(e)
 	r.broadcast(f)
 }
 
@@ -106,7 +112,10 @@ func (r *Replica) onFetch(f *message.Fetch) {
 	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self {
 		return
 	}
-	if !r.suite.VerifyAuth(sender, f.Auth, f.AuthContent()) {
+	e := r.enc.Get()
+	authOK := r.suite.VerifyAuth(sender, f.Auth, f.AuthContentInto(e))
+	r.enc.Put(e)
+	if !authOK {
 		r.stats.DroppedMessages++
 		return
 	}
@@ -237,7 +246,10 @@ func (r *Replica) onFragment(frag *message.Fragment) {
 		}
 	}
 	ck := &message.Checkpoint{Seq: seq, StateD: st.expect, Replica: int32(r.cfg.Self)}
-	ck.Auth = r.suite.Auth(r.cfg.N, ck.AuthContent())
+	e := r.enc.Get()
+	r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, ck.AuthContentInto(e))
+	ck.Auth = r.authScratch
+	r.enc.Put(e)
 	r.broadcast(ck)
 	r.tryExecute()
 	r.syncVCTimer(true)

@@ -59,9 +59,13 @@ func (r *Replica) startViewChange(newView int64) {
 		PrePrep:    pqSlice(r.qset),
 		Replica:    int32(r.cfg.Self),
 	}
-	vcd := r.suite.Digest(vc.AuthContent())
+	e := r.enc.Get()
+	vcd := r.suite.Digest(vc.AuthContentInto(e))
+	r.enc.Put(e)
+	// The view-change (and its authenticator) is retained in the vcRecord,
+	// so the authenticator is freshly allocated, not scratch.
 	vc.Auth = r.suite.Auth(r.cfg.N, vcd[:])
-	raw := message.Marshal(vc)
+	raw := message.MarshalWith(&r.enc, vc)
 	r.storeViewChange(vc, raw, vcd)
 	r.env.Multicast(r.otherReplicas(), raw)
 
@@ -114,7 +118,9 @@ func (r *Replica) sendViewChangeAck(origin int32, vcd crypto.Digest) {
 		return // the primary vouches for what it verified itself
 	}
 	ack := &message.ViewChangeAck{View: r.view, Replica: int32(r.cfg.Self), Origin: origin, VCD: vcd}
-	mac, ok := r.suite.MAC(primary, ack.AuthContent())
+	e := r.enc.Get()
+	mac, ok := r.suite.MAC(primary, ack.AuthContentInto(e))
+	r.enc.Put(e)
 	if !ok {
 		return
 	}
@@ -128,7 +134,9 @@ func (r *Replica) onViewChange(vc *message.ViewChange, raw []byte) {
 	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self {
 		return
 	}
-	vcd := r.suite.Digest(vc.AuthContent())
+	e := r.enc.Get()
+	vcd := r.suite.Digest(vc.AuthContentInto(e))
+	r.enc.Put(e)
 	if !r.suite.VerifyAuth(sender, vc.Auth, vcd[:]) {
 		r.stats.DroppedMessages++
 		return
@@ -203,7 +211,10 @@ func (r *Replica) onViewChangeAck(a *message.ViewChangeAck) {
 	if a.View < r.view || r.cfg.PrimaryOf(a.View) != r.cfg.Self {
 		return
 	}
-	if !r.suite.VerifyMAC(sender, a.MAC, a.AuthContent()) {
+	e := r.enc.Get()
+	macOK := r.suite.VerifyMAC(sender, a.MAC, a.AuthContentInto(e))
+	r.enc.Put(e)
+	if !macOK {
 		r.stats.DroppedMessages++
 		return
 	}
@@ -270,7 +281,11 @@ func (r *Replica) tryNewView() {
 		nv.VCs = append(nv.VCs, message.VCRef{Replica: o, Digest: supported[o].digest})
 		vcRaws = append(vcRaws, supported[o].vc)
 	}
-	nvd := r.suite.Digest(nv.AuthContent())
+	e := r.enc.Get()
+	nvd := r.suite.Digest(nv.AuthContentInto(e))
+	r.enc.Put(e)
+	// The new-view (and its authenticator) is retained in lastNewView, so
+	// the authenticator is freshly allocated, not scratch.
 	nv.Auth = r.suite.Auth(r.cfg.N, nvd[:])
 
 	r.lastNewView = nv
@@ -288,7 +303,9 @@ func (r *Replica) onNewView(nv *message.NewView) {
 	if primary == r.cfg.Self {
 		return
 	}
-	nvd := r.suite.Digest(nv.AuthContent())
+	e := r.enc.Get()
+	nvd := r.suite.Digest(nv.AuthContentInto(e))
+	r.enc.Put(e)
 	if !r.suite.VerifyAuth(primary, nv.Auth, nvd[:]) {
 		r.stats.DroppedMessages++
 		return

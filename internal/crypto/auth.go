@@ -16,30 +16,47 @@ type Authenticator []MAC
 // known (including the sender itself) get a zero entry; correct receivers
 // will reject those, triggering retransmission after key exchange completes.
 func AuthenticatorFor(t *KeyTable, n int, content ...[]byte) Authenticator {
-	a := make(Authenticator, n)
+	return AuthenticatorInto(t, nil, n, content...)
+}
+
+// AuthenticatorInto is AuthenticatorFor filling dst: its capacity is reused
+// when sufficient, so a caller cycling one scratch slice performs no
+// allocation. The filled authenticator is returned (it aliases dst when dst
+// was large enough). The caller owns the result; it is safe to retain.
+func AuthenticatorInto(t *KeyTable, dst Authenticator, n int, content ...[]byte) Authenticator {
+	if cap(dst) < n {
+		dst = make(Authenticator, n)
+	} else {
+		dst = dst[:n]
+	}
+	t.mu.Lock()
 	for j := 0; j < n; j++ {
-		if j == t.Self() {
+		dst[j] = MAC{}
+		if j == t.self {
 			continue
 		}
-		if k, ok := t.Outbound(j); ok {
-			a[j] = ComputeMAC(k, content...)
+		k, ok := t.out[j]
+		if !ok {
+			continue
 		}
+		dst[j] = stateFor(t.outState, j, k).compute(content)
 	}
-	return a
+	t.mu.Unlock()
+	return dst
 }
 
 // VerifyEntry checks the receiver's own entry of an authenticator produced
 // by sender. It returns false if the authenticator is too short, no inbound
 // key is known for the sender, or the MAC does not verify.
 func VerifyEntry(t *KeyTable, sender int, a Authenticator, content ...[]byte) bool {
-	if t.Self() >= len(a) || sender == t.Self() {
+	if t.self >= len(a) || sender == t.self {
 		return false
 	}
-	k, ok := t.Inbound(sender)
+	want, ok := t.inboundMAC(sender, content)
 	if !ok {
 		return false
 	}
-	return VerifyMAC(k, a[t.Self()], content...)
+	return macEqual(want, a[t.self])
 }
 
 // SingleMAC computes a point-to-point MAC from the holder of t to receiver.
@@ -47,18 +64,14 @@ func VerifyEntry(t *KeyTable, sender int, a Authenticator, content ...[]byte) bo
 // replica, replies to a client). The second result is false when no key is
 // available yet.
 func SingleMAC(t *KeyTable, receiver int, content ...[]byte) (MAC, bool) {
-	k, ok := t.Outbound(receiver)
-	if !ok {
-		return MAC{}, false
-	}
-	return ComputeMAC(k, content...), true
+	return t.outboundMAC(receiver, content)
 }
 
 // VerifySingle checks a point-to-point MAC from sender to the holder of t.
 func VerifySingle(t *KeyTable, sender int, tag MAC, content ...[]byte) bool {
-	k, ok := t.Inbound(sender)
+	want, ok := t.inboundMAC(sender, content)
 	if !ok {
 		return false
 	}
-	return VerifyMAC(k, tag, content...)
+	return macEqual(want, tag)
 }

@@ -14,6 +14,7 @@ package crypto
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"hash"
 )
 
 // DigestSize is the size of a message digest in bytes. The BFT library used
@@ -51,3 +52,28 @@ func HashAll(pieces ...[]byte) Digest {
 
 // Hash computes the digest of a single byte slice.
 func Hash(data []byte) Digest { return HashAll(data) }
+
+// Hasher is a reusable digest state: Digest resets and reuses one hash
+// object instead of allocating a fresh one per call. The zero value is
+// ready for use. A Hasher is mutated during computation and must not be
+// used concurrently; engines own one and call it from their event context.
+type Hasher struct {
+	h   hash.Hash
+	sum []byte // scratch for h.Sum; len 0, cap sha256.Size
+}
+
+// Digest computes the digest of the concatenation of the given byte slices.
+func (hh *Hasher) Digest(pieces ...[]byte) Digest {
+	if hh.h == nil {
+		hh.h = sha256.New()
+		hh.sum = make([]byte, 0, sha256.Size)
+	}
+	hh.h.Reset()
+	for _, p := range pieces {
+		hh.h.Write(p)
+	}
+	hh.sum = hh.h.Sum(hh.sum[:0])
+	var d Digest
+	copy(d[:], hh.sum[:DigestSize])
+	return d
+}

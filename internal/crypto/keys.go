@@ -18,7 +18,10 @@ import (
 //   - outbound keys: chosen by each peer; we use them when sending to them.
 //
 // KeyTable is safe for concurrent use; the engine itself is single-threaded
-// but transports may verify inbound traffic on other goroutines.
+// but transports may verify inbound traffic on other goroutines. MAC
+// computation serializes on the table lock: each (peer, direction) caches
+// one mutable HMAC state that Reset reuses, so a busy replica performs no
+// per-MAC allocation.
 type KeyTable struct {
 	mu     sync.RWMutex
 	self   int
@@ -26,17 +29,71 @@ type KeyTable struct {
 	out    map[int]Key   // receiver id -> key we must use toward them
 	epoch  map[int]int64 // receiver id -> freshness counter of their last new-key
 	master map[int]Key   // peer id -> long-term pairwise key (PKI stand-in)
+
+	// Cached HMAC states, created lazily from the matching key map and
+	// dropped whenever the key changes. Guarded by mu (write: the states
+	// are mutated during computation).
+	inState     map[int]*macState
+	outState    map[int]*macState
+	masterState map[int]*macState
 }
 
 // NewKeyTable returns an empty key table for node self.
 func NewKeyTable(self int) *KeyTable {
 	return &KeyTable{
-		self:   self,
-		in:     make(map[int]Key),
-		out:    make(map[int]Key),
-		epoch:  make(map[int]int64),
-		master: make(map[int]Key),
+		self:        self,
+		in:          make(map[int]Key),
+		out:         make(map[int]Key),
+		epoch:       make(map[int]int64),
+		master:      make(map[int]Key),
+		inState:     make(map[int]*macState),
+		outState:    make(map[int]*macState),
+		masterState: make(map[int]*macState),
 	}
+}
+
+// stateFor returns the cached HMAC state for key k of peer in cache,
+// creating it on first use. The caller must hold t.mu for writing.
+func stateFor(cache map[int]*macState, peer int, k Key) *macState {
+	st := cache[peer]
+	if st == nil {
+		st = newMACState(k)
+		cache[peer] = st
+	}
+	return st
+}
+
+// outboundMAC computes a MAC toward receiver with the cached state.
+func (t *KeyTable) outboundMAC(receiver int, pieces [][]byte) (MAC, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k, ok := t.out[receiver]
+	if !ok {
+		return MAC{}, false
+	}
+	return stateFor(t.outState, receiver, k).compute(pieces), true
+}
+
+// inboundMAC recomputes the MAC sender must have produced toward this node.
+func (t *KeyTable) inboundMAC(sender int, pieces [][]byte) (MAC, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k, ok := t.in[sender]
+	if !ok {
+		return MAC{}, false
+	}
+	return stateFor(t.inState, sender, k).compute(pieces), true
+}
+
+// masterMAC computes a MAC toward peer under the long-term pairwise key.
+func (t *KeyTable) masterMAC(peer int, pieces [][]byte) (MAC, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k, ok := t.master[peer]
+	if !ok {
+		return MAC{}, false
+	}
+	return stateFor(t.masterState, peer, k).compute(pieces), true
 }
 
 // Self returns the node id the table belongs to.
@@ -62,6 +119,7 @@ func (t *KeyTable) RotateInbound(rng io.Reader, senders []int) (map[int]Key, err
 	defer t.mu.Unlock()
 	for s, k := range fresh {
 		t.in[s] = k
+		delete(t.inState, s)
 	}
 	return fresh, nil
 }
@@ -78,6 +136,7 @@ func (t *KeyTable) SetOutbound(receiver int, k Key, epoch int64) bool {
 	}
 	t.epoch[receiver] = epoch
 	t.out[receiver] = k
+	delete(t.outState, receiver)
 	return true
 }
 
@@ -108,6 +167,8 @@ func (t *KeyTable) Pair(peer int, inbound, outbound Key, epoch int64) {
 	defer t.mu.Unlock()
 	t.in[peer] = inbound
 	t.out[peer] = outbound
+	delete(t.inState, peer)
+	delete(t.outState, peer)
 	if epoch > t.epoch[peer] {
 		t.epoch[peer] = epoch
 	}
@@ -122,6 +183,7 @@ func (t *KeyTable) SetMaster(peer int, k Key) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.master[peer] = k
+	delete(t.masterState, peer)
 }
 
 // Master returns the long-term pairwise key shared with peer.
@@ -140,8 +202,8 @@ func MasterAuthenticatorFor(t *KeyTable, n int, content ...[]byte) Authenticator
 		if j == t.self {
 			continue
 		}
-		if k, ok := t.Master(j); ok {
-			a[j] = ComputeMAC(k, content...)
+		if m, ok := t.masterMAC(j, content); ok {
+			a[j] = m
 		}
 	}
 	return a
@@ -153,11 +215,11 @@ func VerifyMasterEntry(t *KeyTable, sender int, a Authenticator, content ...[]by
 	if t.self >= len(a) || sender == t.self {
 		return false
 	}
-	k, ok := t.Master(sender)
+	want, ok := t.masterMAC(sender, content)
 	if !ok {
 		return false
 	}
-	return VerifyMAC(k, a[t.self], content...)
+	return macEqual(want, a[t.self])
 }
 
 // ProvisionAll wires a full mesh of fresh pairwise keys across the given
@@ -176,6 +238,7 @@ func ProvisionAll(rng io.Reader, tables []*KeyTable) error {
 			}
 			recv.mu.Lock()
 			recv.in[send.Self()] = k
+			delete(recv.inState, send.Self())
 			recv.mu.Unlock()
 			send.SetOutbound(recv.Self(), k, 1)
 

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"fmt"
+	"hash"
 	"io"
 )
 
@@ -35,16 +36,36 @@ func NewKey(rng io.Reader) (Key, error) {
 	return k, nil
 }
 
-// ComputeMAC computes the tag of the concatenated pieces under key k.
+// ComputeMAC computes the tag of the concatenated pieces under key k. It
+// builds a fresh HMAC state per call; hot paths go through KeyTable, which
+// caches one reusable state per (peer, direction) instead.
 func ComputeMAC(k Key, pieces ...[]byte) MAC {
-	h := hmac.New(sha256.New, k[:])
+	st := newMACState(k)
+	return st.compute(pieces)
+}
+
+// macState is a reusable HMAC computation state for one key. Reusing the
+// state via Reset amortizes the four allocations hmac.New performs, which
+// dominate the allocation profile of a busy replica.
+type macState struct {
+	h   hash.Hash
+	sum []byte // scratch for h.Sum; len 0, cap sha256.Size
+}
+
+func newMACState(k Key) *macState {
+	return &macState{h: hmac.New(sha256.New, k[:]), sum: make([]byte, 0, sha256.Size)}
+}
+
+// compute MACs the concatenated pieces. The state is mutated, so callers
+// must serialize access (KeyTable holds its lock across the call).
+func (st *macState) compute(pieces [][]byte) MAC {
+	st.h.Reset()
 	for _, p := range pieces {
-		h.Write(p)
+		st.h.Write(p)
 	}
-	var sum [sha256.Size]byte
-	h.Sum(sum[:0])
+	st.sum = st.h.Sum(st.sum[:0])
 	var m MAC
-	copy(m[:], sum[:MACSize])
+	copy(m[:], st.sum[:MACSize])
 	return m
 }
 
@@ -52,5 +73,8 @@ func ComputeMAC(k Key, pieces ...[]byte) MAC {
 // key k, in constant time.
 func VerifyMAC(k Key, tag MAC, pieces ...[]byte) bool {
 	want := ComputeMAC(k, pieces...)
-	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+	return macEqual(want, tag)
 }
+
+// macEqual compares two MACs in constant time.
+func macEqual(a, b MAC) bool { return subtle.ConstantTimeCompare(a[:], b[:]) == 1 }

@@ -15,9 +15,13 @@ type Meter interface {
 // Suite bundles a node's key table with an optional work meter and provides
 // the metered operations the protocol engine uses. A nil *Suite is invalid;
 // a Suite with a nil meter performs no accounting.
+//
+// A Suite is engine-local: its cached digest state makes its methods unsafe
+// for concurrent use (the key table it wraps remains concurrency-safe).
 type Suite struct {
-	keys  *KeyTable
-	meter Meter
+	keys   *KeyTable
+	meter  Meter
+	hasher Hasher
 }
 
 // NewSuite returns a Suite over the given key table. meter may be nil.
@@ -58,13 +62,21 @@ func (s *Suite) meterMAC(count int, pieces [][]byte) {
 // Digest computes a metered digest over the concatenated pieces.
 func (s *Suite) Digest(pieces ...[]byte) Digest {
 	s.meterDigest(pieces)
-	return HashAll(pieces...)
+	return s.hasher.Digest(pieces...)
 }
 
 // Auth computes a metered authenticator addressed to replicas [0, n).
 func (s *Suite) Auth(n int, content ...[]byte) Authenticator {
 	s.meterMAC(n-1, content)
 	return AuthenticatorFor(s.keys, n, content...)
+}
+
+// AuthInto is Auth filling dst's capacity (see AuthenticatorInto); callers
+// cycling one scratch slice authenticate without allocating. The result
+// must not be retained past the caller's reuse of the scratch.
+func (s *Suite) AuthInto(dst Authenticator, n int, content ...[]byte) Authenticator {
+	s.meterMAC(n-1, content)
+	return AuthenticatorInto(s.keys, dst, n, content...)
 }
 
 // VerifyAuth verifies this node's entry of an authenticator from sender.

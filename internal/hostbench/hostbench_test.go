@@ -1,0 +1,107 @@
+package hostbench
+
+import (
+	"testing"
+	"time"
+
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+	"bftfast/internal/sim"
+)
+
+// BenchmarkHotPaths runs every registered microbenchmark as a
+// sub-benchmark: `go test -bench=. ./internal/hostbench`.
+func BenchmarkHotPaths(b *testing.B) {
+	for _, bm := range Benchmarks {
+		b.Run(bm.Name, bm.F)
+	}
+}
+
+// allocs measures steady-state allocations of f, letting AllocsPerRun's
+// warm-up call absorb lazy cache fills (HMAC states, scratch growth).
+func allocs(f func()) float64 { return testing.AllocsPerRun(100, f) }
+
+// TestSteadyStateAllocs pins the zero-allocation contract of the hot
+// paths: once scratch buffers and cached MAC states are warm, encoding,
+// decoding, and authenticating a steady-state ordering message must not
+// touch the heap (the one send-buffer clone is the only exception, since
+// buffers passed to Env.Send transfer ownership and cannot be pooled).
+func TestSteadyStateAllocs(t *testing.T) {
+	tables := keyedTables(groupN)
+	prep := samplePrepare(tables)
+	commit := sampleCommit(tables)
+	prepWire := message.Marshal(prep)
+	commitWire := message.Marshal(commit)
+	content := message.OrderContent(3, 117, sampleDigest())
+
+	e := message.NewEncoder(256)
+	if got := allocs(func() { sink = len(message.EncodeTo(e, prep)) }); got != 0 {
+		t.Errorf("EncodeTo(prepare): %v allocs/op, want 0", got)
+	}
+
+	var prepScratch message.Prepare
+	if got := allocs(func() {
+		if err := message.UnmarshalPrepareInto(prepWire, &prepScratch); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("UnmarshalPrepareInto: %v allocs/op, want 0", got)
+	}
+
+	var commitScratch message.Commit
+	if got := allocs(func() {
+		if err := message.UnmarshalCommitInto(commitWire, &commitScratch); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("UnmarshalCommitInto: %v allocs/op, want 0", got)
+	}
+
+	var auth crypto.Authenticator
+	if got := allocs(func() {
+		auth = crypto.AuthenticatorInto(tables[0], auth, groupN, content)
+	}); got != 0 {
+		t.Errorf("AuthenticatorInto: %v allocs/op, want 0", got)
+	}
+
+	full := crypto.AuthenticatorFor(tables[0], groupN, content)
+	if got := allocs(func() {
+		if !crypto.VerifyEntry(tables[1], 0, full, content) {
+			t.Fatal("authenticator entry did not verify")
+		}
+	}); got != 0 {
+		t.Errorf("VerifyEntry: %v allocs/op, want 0", got)
+	}
+
+	// The wire buffer handed to Env.Send is the single permitted allocation.
+	var l message.EncoderList
+	if got := allocs(func() { sink = len(message.MarshalWith(&l, prep)) }); got != 1 {
+		t.Errorf("MarshalWith: %v allocs/op, want exactly 1 (the send clone)", got)
+	}
+}
+
+// TestSimKernelSteadyStateAllocs pins the event kernel's allocation
+// behavior: after a warm-up batch sizes the arena, ring buffers and timer
+// tables, pushing further messages through the same simulator allocates
+// nothing.
+func TestSimKernelSteadyStateAllocs(t *testing.T) {
+	s := sim.New(sim.DefaultCostModel(), 1)
+	left := 0
+	a := &pingNode{peer: 1, left: &left}
+	c := &pingNode{peer: 0, left: &left}
+	s.AddNode(a)
+	s.AddNode(c)
+	s.Run(time.Millisecond)
+
+	payload := make([]byte, 64)
+	kick := func() { a.env.Send(1, payload) }
+	batch := func() {
+		left = 500
+		s.At(s.Now(), kick)
+		s.Resume(s.Now() + time.Hour)
+	}
+	batch() // warm-up: grows the event arena and socket rings to capacity
+	if got := testing.AllocsPerRun(5, batch); got != 0 {
+		t.Errorf("sim kernel steady state: %v allocs per 500-message batch, want 0", got)
+	}
+}

@@ -39,8 +39,46 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity hint n.
 func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
 
-// Bytes returns the encoded buffer. The encoder must not be reused after.
+// Bytes returns the encoded buffer. It aliases the encoder's storage: the
+// result is valid until the encoder is Reset (or, for one-shot encoders,
+// forever).
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset empties the encoder, keeping its storage for reuse. Buffers
+// previously returned by Bytes are invalidated.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// EncoderList is an explicit free-list of encoders owned by one
+// single-threaded engine. It deliberately is not a sync.Pool: the
+// determinism contract (see DESIGN.md) forbids engines from observing
+// scheduler-dependent state, and sync.Pool hands out buffers in an order
+// that depends on GC timing and Ps. A plain LIFO list is deterministic and
+// just as fast for a single goroutine.
+//
+// Buffers obtained from list encoders are scratch: they may be hashed,
+// MAC'd or copied, but must not be retained or passed to Env.Send (send
+// buffers transfer ownership — see the bufretain analyzer).
+type EncoderList struct {
+	free []*Encoder
+}
+
+// Get returns an empty encoder, reusing a previously Put one when possible.
+func (l *EncoderList) Get() *Encoder {
+	if n := len(l.free); n > 0 {
+		e := l.free[n-1]
+		l.free = l.free[:n-1]
+		e.Reset()
+		return e
+	}
+	return NewEncoder(256)
+}
+
+// Put returns an encoder to the list for reuse. The caller must not use e
+// or any buffer obtained from it afterwards.
+func (l *EncoderList) Put(e *Encoder) { l.free = append(l.free, e) }
 
 // U8 appends a single byte.
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
@@ -243,6 +281,28 @@ func (d *Decoder) Auth() crypto.Authenticator {
 		return nil
 	}
 	a := make(crypto.Authenticator, n)
+	for i := range a {
+		a[i] = d.MAC()
+	}
+	return a
+}
+
+// AuthInto is Auth reusing a's capacity when sufficient. Used by the
+// decode-into fast paths for transient messages.
+func (d *Decoder) AuthInto(a crypto.Authenticator) crypto.Authenticator {
+	n := d.Count()
+	if d.err != nil {
+		return a[:0]
+	}
+	if n > 1024 {
+		d.fail("authenticator with %d entries", n)
+		return a[:0]
+	}
+	if cap(a) < n {
+		a = make(crypto.Authenticator, n)
+	} else {
+		a = a[:n]
+	}
 	for i := range a {
 		a[i] = d.MAC()
 	}

@@ -157,7 +157,14 @@ func (*Request) Type() Type { return TypeRequest }
 
 // ContentDigest computes the request's identity digest via suite (metered).
 func (r *Request) ContentDigest(s *crypto.Suite) crypto.Digest {
-	e := NewEncoder(16 + len(r.Op))
+	var e Encoder
+	return r.ContentDigestWith(s, &e)
+}
+
+// ContentDigestWith is ContentDigest encoding through scratch encoder e
+// (reset first), so steady-state callers allocate nothing.
+func (r *Request) ContentDigestWith(s *crypto.Suite, e *Encoder) crypto.Digest {
+	e.Reset()
 	e.I32(r.Client)
 	e.I64(r.Timestamp)
 	e.Bool(r.ReadOnly)
@@ -210,7 +217,14 @@ func (*Reply) Type() Type { return TypeReply }
 
 // AuthContent returns the bytes covered by the reply MAC.
 func (r *Reply) AuthContent() []byte {
-	e := NewEncoder(64 + len(r.Result))
+	var e Encoder
+	return r.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoding through scratch encoder e (reset
+// first); the result aliases e's buffer and is valid until e is reused.
+func (r *Reply) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I64(r.View)
 	e.I64(r.Timestamp)
 	e.I32(r.Client)
@@ -304,7 +318,14 @@ func (*PrePrepare) Type() Type { return TypePrePrepare }
 
 // BatchDigest folds the ordered request digests into the batch identity.
 func BatchDigest(s *crypto.Suite, reqDigests []crypto.Digest) crypto.Digest {
-	e := NewEncoder(len(reqDigests) * crypto.DigestSize)
+	var e Encoder
+	return BatchDigestWith(s, &e, reqDigests)
+}
+
+// BatchDigestWith is BatchDigest encoding through scratch encoder e (reset
+// first).
+func BatchDigestWith(s *crypto.Suite, e *Encoder, reqDigests []crypto.Digest) crypto.Digest {
+	e.Reset()
 	for _, d := range reqDigests {
 		e.Digest(d)
 	}
@@ -314,7 +335,15 @@ func BatchDigest(s *crypto.Suite, reqDigests []crypto.Digest) crypto.Digest {
 // OrderContent returns the bytes covered by ordering-phase authenticators
 // for the tuple (view, seq, batch digest).
 func OrderContent(view, seq int64, batch crypto.Digest) []byte {
-	e := NewEncoder(32)
+	var e Encoder
+	return OrderContentInto(&e, view, seq, batch)
+}
+
+// OrderContentInto is OrderContent encoding through scratch encoder e
+// (reset first); the result aliases e's buffer and is valid until e is
+// reused.
+func OrderContentInto(e *Encoder, view, seq int64, batch crypto.Digest) []byte {
+	e.Reset()
 	e.I64(view)
 	e.I64(seq)
 	e.Digest(batch)
@@ -324,7 +353,14 @@ func OrderContent(view, seq int64, batch crypto.Digest) []byte {
 // OrderContentWithCommits extends OrderContent to cover piggybacked commit
 // references, so a tampered piggyback cannot forge commits.
 func OrderContentWithCommits(view, seq int64, batch crypto.Digest, commits []CommitRef) []byte {
-	e := NewEncoder(32 + len(commits)*24)
+	var e Encoder
+	return OrderContentWithCommitsInto(&e, view, seq, batch, commits)
+}
+
+// OrderContentWithCommitsInto is OrderContentWithCommits encoding through
+// scratch encoder e (reset first).
+func OrderContentWithCommitsInto(e *Encoder, view, seq int64, batch crypto.Digest, commits []CommitRef) []byte {
+	e.Reset()
 	e.I64(view)
 	e.I64(seq)
 	e.Digest(batch)
@@ -458,7 +494,14 @@ func (*Checkpoint) Type() Type { return TypeCheckpoint }
 
 // AuthContent returns the bytes covered by the checkpoint authenticator.
 func (c *Checkpoint) AuthContent() []byte {
-	e := NewEncoder(32)
+	var e Encoder
+	return c.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoding through scratch encoder e (reset
+// first).
+func (c *Checkpoint) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I64(c.Seq)
 	e.Digest(c.StateD)
 	return e.Bytes()
@@ -533,7 +576,14 @@ func (*ViewChange) Type() Type { return TypeViewChange }
 // AuthContent returns the bytes covered by the view-change authenticator
 // and hashed into the digest that acks and new-view messages reference.
 func (v *ViewChange) AuthContent() []byte {
-	e := NewEncoder(64 + (len(v.Prepared)+len(v.PrePrep))*32)
+	var e Encoder
+	return v.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoded through a reusable scratch
+// encoder; the result aliases e's buffer.
+func (v *ViewChange) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I64(v.NewView)
 	e.I64(v.LastStable)
 	e.Digest(v.StableD)
@@ -583,7 +633,14 @@ func (*ViewChangeAck) Type() Type { return TypeViewChangeAck }
 
 // AuthContent returns the bytes covered by the ack MAC.
 func (a *ViewChangeAck) AuthContent() []byte {
-	e := NewEncoder(40)
+	var e Encoder
+	return a.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoded through a reusable scratch
+// encoder; the result aliases e's buffer.
+func (a *ViewChangeAck) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I64(a.View)
 	e.I32(a.Replica)
 	e.I32(a.Origin)
@@ -641,7 +698,14 @@ func (*NewView) Type() Type { return TypeNewView }
 
 // AuthContent returns the bytes covered by the new-view authenticator.
 func (n *NewView) AuthContent() []byte {
-	e := NewEncoder(64 + len(n.VCs)*20 + len(n.Batches)*24)
+	var e Encoder
+	return n.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoded through a reusable scratch
+// encoder; the result aliases e's buffer.
+func (n *NewView) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I64(n.View)
 	e.Count(len(n.VCs))
 	for _, v := range n.VCs {
@@ -776,7 +840,14 @@ func (*Status) Type() Type { return TypeStatus }
 
 // AuthContent returns the bytes covered by the status authenticator.
 func (s *Status) AuthContent() []byte {
-	e := NewEncoder(40)
+	var e Encoder
+	return s.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoding through scratch encoder e (reset
+// first).
+func (s *Status) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I64(s.View)
 	e.Bool(s.InViewChange)
 	e.I64(s.LastStable)
@@ -823,7 +894,14 @@ func (*Fetch) Type() Type { return TypeFetch }
 
 // AuthContent returns the bytes covered by the fetch authenticator.
 func (f *Fetch) AuthContent() []byte {
-	e := NewEncoder(32)
+	var e Encoder
+	return f.AuthContentInto(&e)
+}
+
+// AuthContentInto is AuthContent encoding through scratch encoder e (reset
+// first).
+func (f *Fetch) AuthContentInto(e *Encoder) []byte {
+	e.Reset()
 	e.I32(f.Level)
 	e.I64(f.Index)
 	e.I64(f.Seq)

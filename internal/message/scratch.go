@@ -1,0 +1,112 @@
+package message
+
+import "fmt"
+
+// Scratch-oriented fast paths for the per-message hot loop. Engines own an
+// EncoderList (see codec.go) and decode-into message values they reuse, so
+// steady-state encode/decode of ordering traffic performs no allocation
+// beyond the one exact-size clone a send buffer requires (send buffers
+// transfer ownership to the environment and can never be pooled).
+
+// EncodeTo resets e and encodes m with its one-byte type tag. The result
+// aliases e's buffer: it is valid until e is reused and must not be passed
+// to Env.Send (use MarshalWith for wire buffers).
+func EncodeTo(e *Encoder, m Message) []byte {
+	e.Reset()
+	e.U8(uint8(m.Type()))
+	m.encodeBody(e)
+	return e.Bytes()
+}
+
+// MarshalWith encodes m through a scratch encoder from l and returns a
+// fresh exact-size buffer the caller owns (safe to hand to Env.Send).
+// Compared to Marshal it performs one allocation instead of an encoder,
+// its initial buffer, and any growth reallocations.
+func MarshalWith(l *EncoderList, m Message) []byte {
+	e := l.Get()
+	b := EncodeTo(e, m)
+	out := make([]byte, len(b))
+	copy(out, b)
+	l.Put(e)
+	return out
+}
+
+// UnmarshalPrepareInto decodes a prepare wire message into p, reusing the
+// capacity of p's Commits and Auth slices. The input must carry the
+// TypePrepare tag. On error p holds partially decoded fields the caller
+// must ignore. Only safe for messages the engine does not retain: the
+// caller reuses p (and its slices) for the next message.
+func UnmarshalPrepareInto(data []byte, p *Prepare) error {
+	if len(data) == 0 || Type(data[0]) != TypePrepare {
+		return fmt.Errorf("%w: not a prepare", ErrMalformed)
+	}
+	d := Decoder{buf: data[1:]}
+	p.View = d.I64()
+	p.Seq = d.I64()
+	p.Digest = d.Digest()
+	p.Replica = d.I32()
+	p.Commits = decodeCommitRefsInto(&d, p.Commits)
+	p.Auth = d.AuthInto(p.Auth)
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("decoding %s: %w", TypePrepare, err)
+	}
+	return nil
+}
+
+// UnmarshalCommitInto decodes a commit wire message into c, reusing the
+// capacity of c's Auth slice. Same contract as UnmarshalPrepareInto.
+func UnmarshalCommitInto(data []byte, c *Commit) error {
+	if len(data) == 0 || Type(data[0]) != TypeCommit {
+		return fmt.Errorf("%w: not a commit", ErrMalformed)
+	}
+	d := Decoder{buf: data[1:]}
+	c.View = d.I64()
+	c.Seq = d.I64()
+	c.Digest = d.Digest()
+	c.Replica = d.I32()
+	c.Auth = d.AuthInto(c.Auth)
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("decoding %s: %w", TypeCommit, err)
+	}
+	return nil
+}
+
+// UnmarshalReplyInto decodes a reply wire message into r. r.Result aliases
+// data (which the receiving engine owns), so retaining the Result bytes is
+// safe even though r itself is reused.
+func UnmarshalReplyInto(data []byte, r *Reply) error {
+	if len(data) == 0 || Type(data[0]) != TypeReply {
+		return fmt.Errorf("%w: not a reply", ErrMalformed)
+	}
+	d := Decoder{buf: data[1:]}
+	r.View = d.I64()
+	r.Timestamp = d.I64()
+	r.Client = d.I32()
+	r.Replica = d.I32()
+	r.Tentative = d.Bool()
+	r.Full = d.Bool()
+	r.Result = d.Blob()
+	r.ResultD = d.Digest()
+	r.MAC = d.MAC()
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("decoding %s: %w", TypeReply, err)
+	}
+	return nil
+}
+
+// decodeCommitRefsInto is decodeCommitRefs reusing refs' capacity.
+func decodeCommitRefsInto(d *Decoder, refs []CommitRef) []CommitRef {
+	n := d.Count()
+	if d.Err() != nil {
+		return refs[:0]
+	}
+	if cap(refs) < n {
+		refs = make([]CommitRef, n)
+	} else {
+		refs = refs[:n]
+	}
+	for i := range refs {
+		refs[i] = CommitRef{Seq: d.I64(), Digest: d.Digest()}
+	}
+	return refs
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -10,32 +9,103 @@ import (
 	"bftfast/internal/proc"
 )
 
+// eventKind discriminates the typed events the kernel schedules. Keeping
+// the set closed (instead of a func() per event) lets the queue store
+// events by value and recycle their slots: steady-state scheduling does
+// not allocate.
+type eventKind uint8
+
+const (
+	evCallback eventKind = iota // harness callback registered via At
+	evInit                      // node handler Init at t=0
+	evArrival                   // datagram reaching the destination's ingress port
+	evEnqueue                   // datagram entering the destination's socket buffer
+	evTimer                     // armed timer firing (generation-checked)
+	evProcess                   // CPU picking up the head of the socket buffer
+)
+
 // event is one scheduled action. seq breaks ties deterministically in FIFO
 // order so runs are reproducible.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	gen  uint64 // evTimer: timer generation at arming time
+	data []byte // evArrival/evEnqueue: datagram payload
+	fn   func() // evCallback only
+	node int32  // target node (all kinds except evCallback)
+	key  int32  // evTimer: timer key
+	kind eventKind
 }
 
-type eventHeap []*event
+// eventQueue is a binary min-heap of indices into an event arena, ordered
+// by (at, seq). Popped slots go on a free-list and are reused, so the
+// arena stops growing once the simulation reaches steady state.
+type eventQueue struct {
+	arena []event
+	free  []int32
+	heap  []int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *eventQueue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		id := q.free[n-1]
+		q.free = q.free[:n-1]
+		return id
 	}
-	return h[i].seq < h[j].seq
+	q.arena = append(q.arena, event{})
+	return int32(len(q.arena) - 1)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// release clears the slot (dropping payload/closure references for the GC)
+// and returns it to the free-list.
+func (q *eventQueue) release(id int32) {
+	q.arena[id] = event{}
+	q.free = append(q.free, id)
+}
+
+func (q *eventQueue) less(a, b int32) bool {
+	ea, eb := &q.arena[a], &q.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (q *eventQueue) push(id int32) {
+	q.heap = append(q.heap, id)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() int32 {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i, n := 0, last
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.less(q.heap[r], q.heap[l]) {
+			c = r
+		}
+		if !q.less(q.heap[c], q.heap[i]) {
+			break
+		}
+		q.heap[i], q.heap[c] = q.heap[c], q.heap[i]
+		i = c
+	}
+	return top
 }
 
 // NodeStats counts one host's traffic and resource usage.
@@ -51,12 +121,12 @@ type NodeStats struct {
 // Simulator is the discrete-event kernel. It is not safe for concurrent
 // use; a benchmark drives it from a single goroutine.
 type Simulator struct {
-	cm     CostModel
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	nodes  []*node
-	rng    *rand.Rand
+	cm    CostModel
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	nodes []*node
+	rng   *rand.Rand
 }
 
 // New returns a simulator with the given cost model and deterministic seed.
@@ -78,7 +148,7 @@ func (s *Simulator) CostModel() CostModel { return s.cm }
 // All nodes must be added before Run.
 func (s *Simulator) AddNode(h proc.Handler) int {
 	id := len(s.nodes)
-	n := &node{sim: s, id: id, h: h, timerGen: make(map[int]uint64)}
+	n := &node{sim: s, id: id, h: h}
 	s.nodes = append(s.nodes, n)
 	return id
 }
@@ -88,7 +158,7 @@ func (s *Simulator) AddNode(h proc.Handler) int {
 // through it). build receives the meter and returns the handler.
 func (s *Simulator) AddMeteredNode(build func(meter crypto.Meter) proc.Handler) int {
 	id := len(s.nodes)
-	n := &node{sim: s, id: id, timerGen: make(map[int]uint64)}
+	n := &node{sim: s, id: id}
 	s.nodes = append(s.nodes, n)
 	n.h = build(n)
 	return id
@@ -97,25 +167,31 @@ func (s *Simulator) AddMeteredNode(build func(meter crypto.Meter) proc.Handler) 
 // Stats returns a copy of the traffic counters for node id.
 func (s *Simulator) Stats(id int) NodeStats { return s.nodes[id].stats }
 
-// schedule enqueues fn at time at (clamped to now).
-func (s *Simulator) schedule(at time.Duration, fn func()) {
+// schedule enqueues ev at time at (clamped to now). ev's at/seq fields are
+// assigned here; callers fill the rest.
+func (s *Simulator) schedule(at time.Duration, ev event) {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	ev.at = at
+	ev.seq = s.seq
+	id := s.queue.alloc()
+	s.queue.arena[id] = ev
+	s.queue.push(id)
 }
 
 // At schedules a harness callback at virtual time at. The callback runs
 // outside any node context and consumes no simulated resources.
-func (s *Simulator) At(at time.Duration, fn func()) { s.schedule(at, fn) }
+func (s *Simulator) At(at time.Duration, fn func()) {
+	s.schedule(at, event{kind: evCallback, fn: fn})
+}
 
 // Run initializes every node and processes events until no events remain
 // or virtual time reaches limit. It returns the final virtual time.
 func (s *Simulator) Run(limit time.Duration) time.Duration {
 	for _, n := range s.nodes {
-		n := n
-		s.schedule(0, func() { n.runInit() })
+		s.schedule(0, event{kind: evInit, node: int32(n.id)})
 	}
 	return s.Resume(limit)
 }
@@ -123,17 +199,41 @@ func (s *Simulator) Run(limit time.Duration) time.Duration {
 // Resume continues processing events until the queue empties or virtual
 // time reaches limit. It may be called repeatedly with growing limits.
 func (s *Simulator) Resume(limit time.Duration) time.Duration {
-	for len(s.events) > 0 {
-		next := s.events[0]
-		if next.at > limit {
+	for len(s.queue.heap) > 0 {
+		id := s.queue.heap[0]
+		if s.queue.arena[id].at > limit {
 			s.now = limit
 			return s.now
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
-		next.fn()
+		s.queue.pop()
+		// Copy out before releasing: dispatch may schedule new events,
+		// reusing (or growing past) this slot.
+		ev := s.queue.arena[id]
+		s.queue.release(id)
+		s.now = ev.at
+		s.dispatch(ev)
 	}
 	return s.now
+}
+
+func (s *Simulator) dispatch(ev event) {
+	switch ev.kind {
+	case evCallback:
+		ev.fn()
+	case evInit:
+		s.nodes[ev.node].runInit()
+	case evArrival:
+		s.nodes[ev.node].ingressArrive(ev.data)
+	case evEnqueue:
+		s.nodes[ev.node].enqueue(workItem{data: ev.data}, len(ev.data))
+	case evTimer:
+		n := s.nodes[ev.node]
+		if n.timerGen[ev.key] == ev.gen {
+			n.enqueue(workItem{timerKey: int(ev.key)}, 0)
+		}
+	case evProcess:
+		s.nodes[ev.node].processNext()
+	}
 }
 
 // workItem is a unit of host CPU work: an incoming datagram or an expired
@@ -141,6 +241,47 @@ func (s *Simulator) Resume(limit time.Duration) time.Duration {
 type workItem struct {
 	data     []byte // nil for timers
 	timerKey int
+}
+
+// workRing is a FIFO of work items backed by a reusing power-of-two ring
+// buffer, so the socket queue's steady-state churn performs no head-of-
+// slice re-slicing and no allocation.
+type workRing struct {
+	items []workItem
+	head  int
+	n     int
+}
+
+func (r *workRing) len() int { return r.n }
+
+func (r *workRing) push(w workItem) {
+	if r.n == len(r.items) {
+		r.grow()
+	}
+	r.items[(r.head+r.n)&(len(r.items)-1)] = w
+	r.n++
+}
+
+func (r *workRing) pop() workItem {
+	i := r.head
+	w := r.items[i]
+	r.items[i] = workItem{} // drop the payload reference for the GC
+	r.head = (i + 1) & (len(r.items) - 1)
+	r.n--
+	return w
+}
+
+func (r *workRing) grow() {
+	size := 2 * len(r.items)
+	if size == 0 {
+		size = 8
+	}
+	items := make([]workItem, size)
+	for i := 0; i < r.n; i++ {
+		items[i] = r.items[(r.head+i)&(len(r.items)-1)]
+	}
+	r.items = items
+	r.head = 0
 }
 
 // node models one host: a single CPU, full-duplex ingress/egress links, and
@@ -154,15 +295,19 @@ type node struct {
 	egressFree  time.Duration
 	ingressFree time.Duration
 
-	pending       []workItem
+	pending       workRing
 	pendingBytes  int
 	processing    bool
 	overloadCount int // datagrams accepted while over RareLossBacklog
 
 	// cursor is the running CPU position while a handler executes.
-	cursor   time.Duration
-	inRun    bool
-	timerGen map[int]uint64
+	cursor time.Duration
+	inRun  bool
+
+	// timerGen is indexed directly by the timer key: engine timer keys are
+	// small dense constants (enforced by bft-vet's timerkey analyzer), so a
+	// slice replaces the former map. Grown on demand by timerSlot.
+	timerGen []uint64
 
 	stats NodeStats
 }
@@ -229,7 +374,16 @@ func (n *node) Send(dst int, data []byte) { n.transmit([]int{dst}, data) }
 func (n *node) Multicast(dsts []int, data []byte) { n.transmit(dsts, data) }
 
 func (n *node) transmit(dsts []int, data []byte) {
-	if len(dsts) == 0 {
+	// A datagram only leaves the host if at least one destination exists;
+	// malformed destination lists must not charge send cost or skew the
+	// MsgsSent/BytesSent counters.
+	valid := 0
+	for _, dst := range dsts {
+		if dst >= 0 && dst < len(n.sim.nodes) {
+			valid++
+		}
+	}
+	if valid == 0 {
 		return
 	}
 	cm := &n.sim.cm
@@ -251,11 +405,10 @@ func (n *node) transmit(dsts []int, data []byte) {
 		}
 		if dst == n.id {
 			// Loopback: skip the wire, go straight to the receive queue.
-			n.sim.schedule(n.nowOrCursor(), func() { n.enqueue(workItem{data: data}, len(data)) })
+			n.sim.schedule(n.nowOrCursor(), event{kind: evEnqueue, node: int32(n.id), data: data})
 			continue
 		}
-		target := n.sim.nodes[dst]
-		n.sim.schedule(arrival, func() { target.ingressArrive(data) })
+		n.sim.schedule(arrival, event{kind: evArrival, node: int32(dst), data: data})
 	}
 }
 
@@ -284,7 +437,7 @@ func (n *node) ingressArrive(data []byte) {
 	}
 	rxEnd := rxStart + cm.txTime(len(data))
 	n.ingressFree = rxEnd
-	n.sim.schedule(rxEnd, func() { n.enqueue(workItem{data: data}, len(data)) })
+	n.sim.schedule(rxEnd, event{kind: evEnqueue, node: int32(n.id), data: data})
 }
 
 // enqueue appends a work item to the socket buffer, dropping it if the
@@ -294,7 +447,7 @@ func (n *node) enqueue(w workItem, size int) {
 		n.stats.Drops++
 		return
 	}
-	n.pending = append(n.pending, w)
+	n.pending.push(w)
 	n.pendingBytes += size
 	if !n.processing {
 		n.processing = true
@@ -302,18 +455,17 @@ func (n *node) enqueue(w workItem, size int) {
 		if n.cpuFree > start {
 			start = n.cpuFree
 		}
-		n.sim.schedule(start, n.processNext)
+		n.sim.schedule(start, event{kind: evProcess, node: int32(n.id)})
 	}
 }
 
 // processNext runs the handler on the head of the socket buffer.
 func (n *node) processNext() {
-	if len(n.pending) == 0 {
+	if n.pending.len() == 0 {
 		n.processing = false
 		return
 	}
-	w := n.pending[0]
-	n.pending = n.pending[1:]
+	w := n.pending.pop()
 	n.beginRun()
 	if w.data != nil {
 		n.pendingBytes -= len(w.data)
@@ -326,28 +478,40 @@ func (n *node) processNext() {
 		n.h.OnTimer(w.timerKey)
 	}
 	n.endRun()
-	if len(n.pending) > 0 {
-		n.sim.schedule(n.cpuFree, n.processNext)
+	if n.pending.len() > 0 {
+		n.sim.schedule(n.cpuFree, event{kind: evProcess, node: int32(n.id)})
 	} else {
 		n.processing = false
 	}
 }
 
+// timerSlot grows the dense generation table to cover key and returns it.
+// Timer keys are small non-negative constants (the bft-vet timerkey
+// analyzer enforces constancy at every SetTimer/CancelTimer site).
+func (n *node) timerSlot(key int) int {
+	if key < 0 {
+		panic(fmt.Sprintf("sim: negative timer key %d", key))
+	}
+	for key >= len(n.timerGen) {
+		n.timerGen = append(n.timerGen, 0)
+	}
+	return key
+}
+
 // SetTimer implements proc.Env.
 func (n *node) SetTimer(key int, d time.Duration) {
-	n.timerGen[key]++
-	gen := n.timerGen[key]
-	at := n.nowOrCursor() + d
-	n.sim.schedule(at, func() {
-		if n.timerGen[key] != gen {
-			return // canceled or re-armed
-		}
-		n.enqueue(workItem{timerKey: key}, 0)
+	k := n.timerSlot(key)
+	n.timerGen[k]++
+	n.sim.schedule(n.nowOrCursor()+d, event{
+		kind: evTimer,
+		node: int32(n.id),
+		key:  int32(k),
+		gen:  n.timerGen[k],
 	})
 }
 
 // CancelTimer implements proc.Env.
-func (n *node) CancelTimer(key int) { n.timerGen[key]++ }
+func (n *node) CancelTimer(key int) { n.timerGen[n.timerSlot(key)]++ }
 
 // String aids debugging.
 func (n *node) String() string { return fmt.Sprintf("node(%d)", n.id) }
@@ -356,5 +520,5 @@ func (n *node) String() string { return fmt.Sprintf("node(%d)", n.id) }
 func (s *Simulator) DebugNode(id int) string {
 	n := s.nodes[id]
 	return fmt.Sprintf("{pendingItems=%d pendingBytes=%d processing=%v cpuFree=%v ingressFree=%v egressFree=%v}",
-		len(n.pending), n.pendingBytes, n.processing, n.cpuFree, n.ingressFree, n.egressFree)
+		n.pending.len(), n.pendingBytes, n.processing, n.cpuFree, n.ingressFree, n.egressFree)
 }
