@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race bench bench-host figures fs-figures examples clean
+.PHONY: all build lint test test-race bench bench-host breakdown figures fs-figures examples clean
 
 all: build lint test
 
@@ -37,6 +37,12 @@ bench:
 # Compare two reports with: go run ./cmd/bench-host -compare OLD NEW
 bench-host:
 	$(GO) run ./cmd/bench-host -out BENCH_host.json
+
+# Traced per-phase latency breakdown of the 0/0 benchmark, BFT vs
+# tentative-execution-off, written to breakdown.json (reduced windows).
+breakdown:
+	$(GO) run ./cmd/bft-trace -compare -scale 0.1 -json -out breakdown.json
+	$(GO) run ./cmd/bft-trace -compare -scale 0.1
 
 # Full-resolution micro-benchmark figures (Figures 2-7 + §4.4; ~6 min).
 figures:

@@ -31,6 +31,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extra carries benchmark-reported custom metrics (b.ReportMetric),
+	// e.g. the simulated latency percentiles of the end-to-end point.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -91,6 +94,12 @@ func run() report {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\n", res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)

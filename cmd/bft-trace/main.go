@@ -1,0 +1,248 @@
+// Command bft-trace records, decodes, and compares deterministic protocol
+// traces (internal/obs), reproducing the paper's per-phase latency
+// breakdown for the 0/0 micro-benchmark.
+//
+// Default (compare) mode runs the 0/0 benchmark twice — the paper's "BFT"
+// configuration and the same with tentative execution disabled — assembles
+// per-request spans from the merged trace, and prints the mean critical-path
+// breakdown of each, checking that the phases sum to within -max-drift
+// percent of the measured end-to-end latency:
+//
+//	go run ./cmd/bft-trace -compare -scale 0.1 -json -out breakdown.json
+//
+// Record mode writes the raw merged event stream of one traced run to a
+// file; decode mode turns such a file back into a breakdown table:
+//
+//	go run ./cmd/bft-trace -record trace.bin
+//	go run ./cmd/bft-trace -decode trace.bin -csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"bftfast/internal/bench"
+	"bftfast/internal/core"
+	"bftfast/internal/obs"
+)
+
+// reportSchema versions the JSON layout for downstream tooling.
+const reportSchema = "bftfast/bft-trace/v1"
+
+// configReport is one traced configuration's breakdown plus the headline
+// metrics it is checked against.
+type configReport struct {
+	Name       string        `json:"name"`
+	Throughput float64       `json:"throughput_ops"`
+	LatencyNS  time.Duration `json:"latency_ns"` // measured mean (load clients)
+	P50NS      time.Duration `json:"p50_ns"`
+	P99NS      time.Duration `json:"p99_ns"`
+	Events     int           `json:"events"`
+	Breakdown  obs.Breakdown `json:"breakdown"`
+	PhaseSumNS time.Duration `json:"phase_sum_ns"`
+	// DriftPct is |phase sum - measured mean latency| / measured, in percent.
+	DriftPct float64 `json:"drift_pct"`
+}
+
+type traceReport struct {
+	Schema  string         `json:"schema"`
+	Configs []configReport `json:"configs"`
+}
+
+func main() {
+	record := flag.String("record", "", "run one traced 0/0 benchmark and write the merged event stream to this file")
+	decode := flag.String("decode", "", "decode a recorded trace file into a breakdown table")
+	flag.Bool("compare", false, "run BFT vs tentative-execution-off and compare breakdowns (the default mode)")
+	tentative := flag.Bool("tentative", true, "record mode: keep tentative execution enabled")
+	scale := flag.Float64("scale", 1.0, "scale warmup and measure windows (0.1 = ten times shorter)")
+	clients := flag.Int("clients", 1, "closed-loop client processes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	csvOut := flag.Bool("csv", false, "emit the breakdown rows as CSV")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	maxDrift := flag.Float64("max-drift", 5.0, "fail when the phase sum drifts more than this percent from the measured latency")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *record != "":
+		err = runRecord(*record, *tentative, *scale, *clients, *seed)
+	case *decode != "":
+		err = runDecode(*decode, *jsonOut, *csvOut, *out)
+	default:
+		err = runCompare(*scale, *clients, *seed, *jsonOut, *csvOut, *out, *maxDrift)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bft-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// params builds the traced 0/0 measurement point.
+func params(opts core.Options, scale float64, clients int, seed int64) bench.MicroParams {
+	p := bench.DefaultMicroParams()
+	p.Opts = opts
+	p.Clients = clients
+	p.Seed = seed
+	p.Warmup = time.Duration(float64(p.Warmup) * scale)
+	p.Measure = time.Duration(float64(p.Measure) * scale)
+	p.Trace = true
+	// Size each ring for the full run: a 0/0 request touches each node a
+	// handful of times, and losing warmup events to wrap-around is harmless
+	// but losing measured ones would undercount spans.
+	p.TraceCapacity = 1 << 17
+	return p
+}
+
+// measure runs one traced configuration and summarizes its spans over the
+// measurement window.
+func measure(name string, opts core.Options, scale float64, clients int, seed int64) (configReport, bench.MicroResult) {
+	p := params(opts, scale, clients, seed)
+	res := bench.RunMicro(p)
+	spans := obs.AssembleSpans(res.Events)
+	bd := obs.Summarize(spans, p.Warmup)
+	cr := configReport{
+		Name:       name,
+		Throughput: res.Throughput,
+		LatencyNS:  res.Latency,
+		P50NS:      res.P50,
+		P99NS:      res.P99,
+		Events:     len(res.Events),
+		Breakdown:  bd,
+		PhaseSumNS: bd.PhaseSum(),
+	}
+	if res.Latency > 0 {
+		cr.DriftPct = 100 * math.Abs(float64(cr.PhaseSumNS-res.Latency)) / float64(res.Latency)
+	}
+	return cr, res
+}
+
+func runRecord(path string, tentative bool, scale float64, clients int, seed int64) error {
+	opts := core.AllOptimizations()
+	opts.TentativeExecution = tentative
+	p := params(opts, scale, clients, seed)
+	res := bench.RunMicro(p)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, res.Events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events, %.0f ops/s, %v mean latency)\n",
+		path, len(res.Events), res.Throughput, res.Latency)
+	return nil
+}
+
+func runDecode(path string, jsonOut, csvOut bool, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	spans := obs.AssembleSpans(events)
+	bd := obs.Summarize(spans, 0)
+	cr := configReport{
+		Name:       path,
+		Events:     len(events),
+		Breakdown:  bd,
+		PhaseSumNS: bd.PhaseSum(),
+	}
+	return emit(traceReport{Schema: reportSchema, Configs: []configReport{cr}}, jsonOut, csvOut, out)
+}
+
+func runCompare(scale float64, clients int, seed int64, jsonOut, csvOut bool, out string, maxDrift float64) error {
+	bft := core.AllOptimizations()
+	noTent := bft
+	noTent.TentativeExecution = false
+
+	crBFT, _ := measure("BFT", bft, scale, clients, seed)
+	crNoTent, _ := measure("BFT-no-tentative", noTent, scale, clients, seed)
+	rep := traceReport{Schema: reportSchema, Configs: []configReport{crBFT, crNoTent}}
+
+	if err := emit(rep, jsonOut, csvOut, out); err != nil {
+		return err
+	}
+	for _, cr := range rep.Configs {
+		if cr.Breakdown.Count == 0 {
+			return fmt.Errorf("%s: no complete spans assembled", cr.Name)
+		}
+		if cr.DriftPct > maxDrift {
+			return fmt.Errorf("%s: phase sum %v drifts %.2f%% from measured latency %v (limit %.1f%%)",
+				cr.Name, cr.PhaseSumNS, cr.DriftPct, cr.LatencyNS, maxDrift)
+		}
+	}
+	return nil
+}
+
+// emit renders the report as a table (default), CSV, or JSON, to stdout or
+// the -out file.
+func emit(rep traceReport, jsonOut, csvOut bool, out string) error {
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case jsonOut:
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		_, err = w.Write(buf)
+		return err
+	case csvOut:
+		if _, err := fmt.Fprintf(w, "config,%s,total_us,measured_us,drift_pct,spans\n",
+			phaseHeader(",", "_us")); err != nil {
+			return err
+		}
+		for _, cr := range rep.Configs {
+			row := cr.Breakdown.Row()
+			if _, err := fmt.Fprintf(w, "%s,%s,%.1f,%.2f,%d\n",
+				cr.Name, strings.Join(row, ","),
+				float64(cr.LatencyNS)/1e3, cr.DriftPct, cr.Breakdown.Count); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+		fmt.Fprintf(tw, "config\t%s\ttotal_µs\tmeasured_µs\tdrift\tspans\n",
+			phaseHeader("\t", "_µs"))
+		for _, cr := range rep.Configs {
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.2f%%\t%d\n",
+				cr.Name, strings.Join(cr.Breakdown.Row(), "\t"),
+				float64(cr.LatencyNS)/1e3, cr.DriftPct, cr.Breakdown.Count)
+		}
+		return tw.Flush()
+	}
+}
+
+// phaseHeader joins the phase names with sep, suffixing each with unit.
+func phaseHeader(sep, unit string) string {
+	parts := make([]string, 0, obs.NumPhases)
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		parts = append(parts, p.String()+unit)
+	}
+	return strings.Join(parts, sep)
+}

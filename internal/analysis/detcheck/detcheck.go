@@ -34,6 +34,7 @@ var EnginePackages = map[string]bool{
 	"bftfast/internal/norep":         true,
 	"bftfast/internal/fs":            true,
 	"bftfast/internal/kvservice":     true,
+	"bftfast/internal/obs":           true,
 	"bftfast/internal/simpleservice": true,
 }
 

@@ -14,6 +14,7 @@ import (
 	"bftfast/internal/core"
 	"bftfast/internal/crypto"
 	"bftfast/internal/norep"
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 	"bftfast/internal/sim"
 	"bftfast/internal/simpleservice"
@@ -55,6 +56,10 @@ type LoadClient struct {
 	Completed  int64
 	Lost       int64
 	LatencySum time.Duration
+
+	// Hist, when set, receives each completed operation's latency in
+	// nanoseconds (for percentile reporting).
+	Hist *obs.Histogram
 }
 
 var _ proc.Handler = (*LoadClient)(nil)
@@ -89,7 +94,11 @@ func (l *LoadClient) kick() {
 			l.Lost++
 		} else {
 			l.Completed++
-			l.LatencySum += l.env.Now() - l.startAt
+			lat := l.env.Now() - l.startAt
+			l.LatencySum += lat
+			if l.Hist != nil {
+				l.Hist.Observe(int64(lat))
+			}
 		}
 		l.kick()
 	})
@@ -127,14 +136,32 @@ type MicroParams struct {
 	Window             int64
 	CheckpointInterval int64
 	InlineThreshold    int
+
+	// Trace enables protocol tracing: every replica and client engine gets
+	// a private obs.Recorder, and the merged event stream is returned in
+	// MicroResult.Events. Tracing never perturbs the simulation — hooks
+	// record outside the metered cost model — so headline metrics are
+	// bit-identical with and without it.
+	Trace bool
+	// TraceCapacity bounds each node's ring (default 1<<15 events).
+	TraceCapacity int
 }
 
 // MicroResult is one measured point.
 type MicroResult struct {
 	Throughput float64       // operations per second
 	Latency    time.Duration // mean operation latency
+	P50        time.Duration // median operation latency (measure window)
+	P99        time.Duration // 99th-percentile operation latency
 	Completed  int64
 	Lost       int64
+
+	// Events is the merged, time-ordered trace (nil unless Trace was set).
+	Events []obs.Event
+	// Metrics is the run's unified registry: per-node sim traffic counters,
+	// replica/client protocol counters, and the client latency histogram
+	// ("client.latency_ns"). Snapshot it only after Run returns.
+	Metrics *obs.Registry
 }
 
 // staggerFor spreads client start times like independently launched
@@ -165,6 +192,22 @@ func RunMicro(p MicroParams) MicroResult {
 	s := sim.New(p.CostModel, p.Seed)
 	makeOp := func() []byte { return simpleservice.Op(p.ArgBytes, p.ResBytes) }
 
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("client.latency_ns")
+	traceCap := p.TraceCapacity
+	if traceCap <= 0 {
+		traceCap = 1 << 15
+	}
+	var recs []*obs.Recorder
+	newRec := func(node int) *obs.Recorder {
+		if !p.Trace {
+			return nil
+		}
+		r := obs.NewRecorder(int32(node), traceCap)
+		recs = append(recs, r)
+		return r
+	}
+
 	var loads []*LoadClient
 	if p.Replicas == 0 {
 		// NO-REP: one unreplicated server, plain datagrams.
@@ -173,6 +216,7 @@ func RunMicro(p MicroParams) MicroResult {
 			id := 1 + c
 			lc := NewLoadClient(norepSubmitter{norep.NewClient(id, 0, p.GiveUp)},
 				makeOp, p.ReadOnly, staggerFor(c))
+			lc.Hist = hist
 			loads = append(loads, lc)
 			s.AddNode(lc)
 		}
@@ -209,10 +253,12 @@ func RunMicro(p MicroParams) MicroResult {
 				// drops heal by resending instead of deposing the primary.
 				cfg.ViewChangeTimeout = 2 * time.Second
 				cfg.StatusInterval = 50 * time.Millisecond
+				cfg.Trace = newRec(i)
 				rep, err := core.NewReplica(cfg, simpleservice.Service{}, tables[i], m, nil)
 				if err != nil {
 					panic(fmt.Sprintf("bench: replica %d: %v", i, err))
 				}
+				rep.RegisterMetrics(reg, fmt.Sprintf("replica%d.", i))
 				return rep
 			})
 		}
@@ -229,17 +275,22 @@ func RunMicro(p MicroParams) MicroResult {
 					Opts:              p.Opts,
 					InlineThreshold:   threshold,
 					RetransmitTimeout: 800 * time.Millisecond,
+					Trace:             newRec(n + c),
 				}
 				cl, err := core.NewClient(cfg, tables[n+c], m)
 				if err != nil {
 					panic(fmt.Sprintf("bench: client %d: %v", c, err))
 				}
+				cl.RegisterMetrics(reg, fmt.Sprintf("client%d.", n+c))
 				lc := NewLoadClient(bftSubmitter{cl}, makeOp, p.ReadOnly, staggerFor(c))
+				lc.Hist = hist
 				loads = append(loads, lc)
 				return lc
 			})
 		}
 	}
+
+	s.RegisterMetrics(reg, "sim.")
 
 	var (
 		baseDone int64
@@ -252,6 +303,9 @@ func RunMicro(p MicroParams) MicroResult {
 			baseLat += l.LatencySum
 			baseLost += l.Lost
 		}
+		// The histogram (and its percentiles) covers the measure window only,
+		// like the mean.
+		hist.Reset()
 	})
 	s.Run(p.Warmup + p.Measure)
 
@@ -267,12 +321,17 @@ func RunMicro(p MicroParams) MicroResult {
 	lat -= baseLat
 	lost -= baseLost
 
-	res := MicroResult{Completed: done, Lost: lost}
+	res := MicroResult{Completed: done, Lost: lost, Metrics: reg}
 	if p.Measure > 0 {
 		res.Throughput = float64(done) / p.Measure.Seconds()
 	}
 	if done > 0 {
 		res.Latency = lat / time.Duration(done)
+	}
+	res.P50 = time.Duration(hist.Quantile(0.50))
+	res.P99 = time.Duration(hist.Quantile(0.99))
+	if p.Trace {
+		res.Events = obs.Merge(recs...)
 	}
 	return res
 }

@@ -74,7 +74,7 @@ func scaleWindows(p *MicroParams, scale float64) {
 func Figure2(scale float64) *Table {
 	t := &Table{
 		Title:  "Figure 2: latency vs result size (arg 8 B, f=1)",
-		Header: []string{"result_B", "norep_ms", "bft_rw_ms", "bft_ro_ms", "slow_rw", "slow_ro"},
+		Header: []string{"result_B", "norep_ms", "bft_rw_ms", "bft_ro_ms", "slow_rw", "slow_ro", "rw_p50_ms", "rw_p99_ms"},
 	}
 	for _, size := range ResultSizes {
 		base := DefaultMicroParams()
@@ -85,7 +85,8 @@ func Figure2(scale float64) *Table {
 		nr.Replicas = 0
 		norep := RunMicro(nr).Latency
 
-		rw := RunMicro(base).Latency
+		rwRes := RunMicro(base)
+		rw := rwRes.Latency
 
 		ro := base
 		ro.ReadOnly = true
@@ -93,6 +94,7 @@ func Figure2(scale float64) *Table {
 
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(size), ms(norep), ms(rw), ms(rol), ratio(rw, norep), ratio(rol, norep),
+			ms(rwRes.P50), ms(rwRes.P99),
 		})
 	}
 	return t
@@ -176,7 +178,7 @@ func Figure4(op string, clients []int, scale float64) *Table {
 
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 4: throughput vs clients, operation %s", op),
-		Header: []string{"clients", "bft_rw_ops", "bft_ro_ops", "norep_ops", "norep_lost"},
+		Header: []string{"clients", "bft_rw_ops", "bft_ro_ops", "norep_ops", "norep_lost", "rw_p50_ms", "rw_p99_ms"},
 	}
 	for i, c := range clients {
 		t.Rows = append(t.Rows, []string{
@@ -185,6 +187,8 @@ func Figure4(op string, clients []int, scale float64) *Table {
 			fmt.Sprintf("%.0f", ro[i].Throughput),
 			fmt.Sprintf("%.0f", nr[i].Throughput),
 			fmt.Sprint(nr[i].Lost),
+			ms(rw[i].P50),
+			ms(rw[i].P99),
 		})
 	}
 	return t

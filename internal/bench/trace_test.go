@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"testing"
+
+	"bftfast/internal/core"
+	"bftfast/internal/obs"
+)
+
+// TestTracingDoesNotPerturbSimulation pins the tentpole invariant: enabling
+// the trace recorder must leave every headline metric bit-identical.
+// Hooks record outside the metered cost model, so the virtual timeline —
+// and therefore throughput, latency, and completion counts — cannot move.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	base := quickParams()
+	base.Clients = 4
+
+	plain := RunMicro(base)
+	traced := base
+	traced.Trace = true
+	withTrace := RunMicro(traced)
+
+	if plain.Completed != withTrace.Completed ||
+		plain.Lost != withTrace.Lost ||
+		plain.Throughput != withTrace.Throughput ||
+		plain.Latency != withTrace.Latency ||
+		plain.P50 != withTrace.P50 ||
+		plain.P99 != withTrace.P99 {
+		t.Fatalf("tracing perturbed the run:\n  plain:  %+v\n  traced: %+v",
+			headline(plain), headline(withTrace))
+	}
+	if len(withTrace.Events) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if plain.Events != nil {
+		t.Fatal("untraced run returned events")
+	}
+}
+
+// headline projects the comparable fields for failure messages.
+func headline(r MicroResult) MicroResult {
+	r.Events = nil
+	r.Metrics = nil
+	return r
+}
+
+// TestBreakdownPhasesSumToLatency checks the acceptance criterion driving
+// cmd/bft-trace: for the 0/0 benchmark in the paper's BFT configuration and
+// with tentative execution disabled, the assembled per-phase breakdown sums
+// to within 5% of the measured end-to-end latency, and the commit phase
+// appears exactly when tentative execution is off.
+func TestBreakdownPhasesSumToLatency(t *testing.T) {
+	run := func(tentative bool) (obs.Breakdown, MicroResult) {
+		p := quickParams()
+		p.Opts = core.AllOptimizations()
+		p.Opts.TentativeExecution = tentative
+		p.Trace = true
+		res := RunMicro(p)
+		spans := obs.AssembleSpans(res.Events)
+		return obs.Summarize(spans, p.Warmup), res
+	}
+	for _, tc := range []struct {
+		name      string
+		tentative bool
+	}{
+		{"BFT", true},
+		{"BFT-no-tentative", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bd, res := run(tc.tentative)
+			if bd.Count == 0 {
+				t.Fatal("no complete spans assembled")
+			}
+			sum, measured := bd.PhaseSum(), res.Latency
+			drift := float64(sum-measured) / float64(measured)
+			if drift < 0 {
+				drift = -drift
+			}
+			if drift > 0.05 {
+				t.Fatalf("phase sum %v drifts %.1f%% from measured latency %v",
+					sum, 100*drift, measured)
+			}
+			commit := bd.Phases[obs.PhaseCommit]
+			if tc.tentative && commit != 0 {
+				t.Errorf("tentative execution left %v on the commit critical path", commit)
+			}
+			if !tc.tentative && commit == 0 {
+				t.Error("with tentative execution off the commit phase must be non-zero")
+			}
+		})
+	}
+}
+
+// TestMicroMetricsRegistry spot-checks the unified registry: the protocol
+// counters it exports agree with the run's results.
+func TestMicroMetricsRegistry(t *testing.T) {
+	p := quickParams()
+	p.Clients = 2
+	res := RunMicro(p)
+	if res.Metrics == nil {
+		t.Fatal("RunMicro returned no metrics registry")
+	}
+	var completed, executed int64
+	for _, m := range res.Metrics.Snapshot() {
+		switch {
+		case m.Name == "replica0.executed_requests":
+			executed = m.Value
+		case m.Name == "client4.completed" || m.Name == "client5.completed":
+			completed += m.Value
+		}
+	}
+	// Registry gauges cover the whole run (warmup included), so they bound
+	// the measure-window counts from above.
+	if completed < res.Completed {
+		t.Errorf("client completed gauges sum to %d, below measured %d", completed, res.Completed)
+	}
+	if executed < res.Completed {
+		t.Errorf("replica0 executed %d requests, below measured completions %d", executed, res.Completed)
+	}
+	lat, ok := res.Metrics.Get("client.latency_ns")
+	if !ok {
+		t.Fatal("registry missing client.latency_ns histogram")
+	}
+	if lat.Count == 0 || lat.P50 <= 0 {
+		t.Errorf("latency histogram empty: %+v", lat)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 // TestChaosLossyNetworkConverges drives the group through a lossy, delayed
@@ -276,5 +277,57 @@ func TestDecideNewViewUndecidableWaits(t *testing.T) {
 	}
 	if len(batches) != 0 {
 		t.Fatalf("batches = %v, want none (null trimmed)", batches)
+	}
+}
+
+// TestChaosTraceTimestampsMonotonic drives a lossy network with view
+// changes and checkpoints and asserts the recorder's contract: each node's
+// event stream carries non-decreasing virtual timestamps (oldest-first even
+// after ring wrap-around), and the merged stream is globally time-ordered.
+func TestChaosTraceTimestampsMonotonic(t *testing.T) {
+	g, recs := tracedGroup(t, 4, []int{100, 101}, func(c *Config) {
+		c.CheckpointInterval = 4
+		c.LogWindow = 8
+		c.ViewChangeTimeout = time.Second
+	})
+	rng := rand.New(rand.NewSource(11)) //nolint:gosec // deterministic chaos
+	lossy := true
+	g.c.drop = func(src, dst int, data []byte) bool {
+		return lossy && rng.Float64() < 0.15
+	}
+	g.c.start()
+
+	done := 0
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		g.invokeAsync(100, opAppend("a", "x"), false, &done)
+		g.invokeAsync(101, opAppend("b", "y"), false, &done)
+	}
+	g.c.run(func() bool { return done == 2*ops }, 60*time.Second, "chaos ops (traced)")
+	lossy = false
+	g.c.advance(6 * time.Second)
+
+	ordered := make([]*obs.Recorder, 0, len(recs))
+	for i := 0; i < 4; i++ {
+		rec := recs[i]
+		evts := rec.Events(nil)
+		if len(evts) == 0 {
+			t.Fatalf("replica %d recorded no events", i)
+		}
+		for j, e := range evts {
+			if e.Node != int32(i) {
+				t.Fatalf("replica %d event %d stamped with node %d", i, j, e.Node)
+			}
+			if j > 0 && e.At < evts[j-1].At {
+				t.Fatalf("replica %d events reordered: %v after %v", i, e.At, evts[j-1].At)
+			}
+		}
+		ordered = append(ordered, rec)
+	}
+	merged := obs.Merge(ordered...)
+	for j := 1; j < len(merged); j++ {
+		if merged[j].At < merged[j-1].At {
+			t.Fatalf("merged stream reordered at %d: %v after %v", j, merged[j].At, merged[j-1].At)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 )
 
@@ -33,6 +34,9 @@ type ClientConfig struct {
 	// seed it from a clock (the replicas deduplicate by timestamp);
 	// long-lived engines and deterministic simulations leave it zero.
 	TimestampBase int64
+	// Trace receives protocol trace events stamped with Env.Now time; nil
+	// disables tracing. The recorder must be private to this client.
+	Trace *obs.Recorder
 }
 
 // ClientStats exposes client-side protocol counters.
@@ -96,12 +100,21 @@ type Client struct {
 	// Hot-path scratch state (the engine is single-threaded): a reusable
 	// encoder list, the cached all-replicas destination slice, a reusable
 	// request authenticator, and a decode-into reply.
-	enc         message.EncoderList
-	all         []int
-	authScratch crypto.Authenticator
+	enc          message.EncoderList
+	all          []int
+	authScratch  crypto.Authenticator
 	replyScratch message.Reply
 
+	rec   *obs.Recorder // nil disables tracing
 	stats ClientStats
+}
+
+// trace records one protocol event stamped with the engine's current time;
+// a nil recorder costs one branch (see Replica.trace).
+func (c *Client) trace(kind obs.Kind, ts int64) {
+	if c.rec != nil {
+		c.rec.Record(c.env.Now(), kind, 0, int64(c.cfg.Self), ts)
+	}
 }
 
 // jitter returns a deterministic pseudo-random duration in [-d/4, d/4).
@@ -141,11 +154,21 @@ func NewClient(cfg ClientConfig, keys *crypto.KeyTable, meter crypto.Meter) (*Cl
 		ts:          cfg.TimestampBase,
 		jitterState: uint64(cfg.Self)*0x9e3779b97f4a7c15 + 1,
 		all:         all,
+		rec:         cfg.Trace,
 	}, nil
 }
 
 // Stats returns a copy of the client's counters.
 func (c *Client) Stats() ClientStats { return c.stats }
+
+// RegisterMetrics exposes the client's counters as read-through gauges
+// under prefix (e.g. "client100."). Snapshots must be taken from the
+// node's event context, like Stats.
+func (c *Client) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"completed", func() int64 { return c.stats.Completed })
+	reg.GaugeFunc(prefix+"retransmits", func() int64 { return c.stats.Retransmits })
+	reg.GaugeFunc(prefix+"rejected", func() int64 { return c.stats.Rejected })
+}
 
 // Init implements proc.Handler.
 func (c *Client) Init(env proc.Env) { c.env = env }
@@ -182,6 +205,9 @@ func (c *Client) begin(p *pendingOp) {
 		// Rotate the designated full-replier for load balancing.
 		p.replier = int32(c.ts % int64(c.cfg.N))
 	}
+	// Traced before the MAC/marshal work so the span's request phase
+	// includes the client-side send cost (Env.Now advances with charges).
+	c.trace(obs.EvClientSend, p.timestamp)
 	c.transmit(p, false)
 	c.env.SetTimer(timerClientRetransmit, p.timeout+c.jitter(p.timeout))
 }
@@ -316,6 +342,7 @@ func (c *Client) checkCertificate(p *pendingOp) {
 				c.srtt = (7*c.srtt + sample) / 8
 			}
 		}
+		c.trace(obs.EvClientDone, p.timestamp)
 		c.stats.Completed++
 		c.cur = nil
 		done := p.done
@@ -351,6 +378,7 @@ func (c *Client) OnTimer(key int) {
 		p.fullBody = make(map[crypto.Digest][]byte)
 	}
 	c.transmit(p, true)
+	c.trace(obs.EvClientResend, p.timestamp)
 	if p.timeout < 8*c.cfg.RetransmitTimeout {
 		p.timeout *= 2
 	}

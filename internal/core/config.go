@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"bftfast/internal/obs"
 )
 
 // Timer keys used by Replica.
@@ -132,6 +134,12 @@ type Config struct {
 	// CommitFlushDelay bounds how long a piggybacked commit may wait for a
 	// carrier message before being sent standalone.
 	CommitFlushDelay time.Duration
+
+	// Trace receives protocol trace events stamped with Env.Now time; nil
+	// disables tracing (every hook then costs a single branch). The
+	// recorder must be private to this replica: it is written from the
+	// engine's event context without synchronization.
+	Trace *obs.Recorder
 }
 
 // DefaultConfig returns the paper's standard configuration for n replicas.

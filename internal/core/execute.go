@@ -6,6 +6,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 // tryExecute applies every executable batch in sequence order: committed
@@ -24,6 +25,7 @@ func (r *Replica) tryExecute() {
 			if ts == nil || !ts.checkCommitted(f) {
 				break
 			}
+			r.trace(obs.EvCommitted, r.lastExec, 0, 0)
 			r.lastCommittedExec = r.lastExec
 			r.onCommittedAdvance(r.lastExec)
 			progress = true
@@ -33,6 +35,9 @@ func (r *Replica) tryExecute() {
 			break
 		}
 		if s.checkCommitted(f) {
+			// Traced before execution so the commit boundary precedes the
+			// execute boundary (execution charges advance Env.Now).
+			r.trace(obs.EvCommitted, next, 0, 0)
 			if !s.executed {
 				r.executeBatch(s, false)
 				s.executed = true
@@ -77,6 +82,11 @@ func (r *Replica) onCommittedAdvance(seq int64) {
 // executeBatch applies each request of a batch to the state machine and
 // replies to its client. tentative marks replies produced before commit.
 func (r *Replica) executeBatch(s *slot, tentative bool) {
+	tent := int64(0)
+	if tentative {
+		tent = 1
+	}
+	r.trace(obs.EvExecuted, s.seq, tent, int64(len(s.requests)))
 	r.stats.ExecutedBatches++
 	for _, req := range s.requests {
 		if req == nil {
@@ -93,6 +103,7 @@ func (r *Replica) executeBatch(s *slot, tentative bool) {
 		}
 		result := r.sm.Execute(req.Client, req.Op, false)
 		r.stats.ExecutedRequests++
+		r.trace(obs.EvExecRequest, s.seq, int64(req.Client), req.Timestamp)
 		resultD := r.suite.Digest(result)
 		rec.lastTimestamp = req.Timestamp
 		rec.lastReply = &message.Reply{
@@ -142,6 +153,7 @@ func (r *Replica) sendReply(req *message.Request, stored *message.Reply) {
 	}
 	rep.MAC = mac
 	r.send(int(rep.Client), rep)
+	r.trace(obs.EvReplySent, 0, int64(rep.Client), rep.Timestamp)
 }
 
 // resendStoredReply answers a retransmitted request from the client record.
@@ -191,6 +203,7 @@ func (r *Replica) deliverReply(rep *message.Reply) {
 	}
 	rep.MAC = mac
 	r.send(int(rep.Client), rep)
+	r.trace(obs.EvReplySent, 0, int64(rep.Client), rep.Timestamp)
 }
 
 // flushHeldReadOnly releases read-only replies whose observed prefix has
@@ -305,6 +318,7 @@ func (r *Replica) restoreSnapshot(snap []byte) error {
 // takeCheckpoint digests the state at batch seq, retains a snapshot when
 // configured, and announces the checkpoint to the group.
 func (r *Replica) takeCheckpoint(seq int64) {
+	r.trace(obs.EvCheckpoint, seq, 0, 0)
 	d := r.checkpointDigest()
 	if r.cfg.CheckpointSnapshots {
 		r.snapshots[seq] = r.encodeSnapshot()
@@ -408,6 +422,7 @@ func (r *Replica) checkStable(seq int64, d crypto.Digest) {
 // makeStable advances the low water mark to seq and garbage collects
 // everything below it.
 func (r *Replica) makeStable(seq int64, d crypto.Digest) {
+	r.trace(obs.EvCheckpointStable, seq, 0, 0)
 	r.lastStable = seq
 	r.stableDigest = d
 	r.stats.StableCheckpoints++

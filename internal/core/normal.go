@@ -3,6 +3,7 @@ package core
 import (
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 // onRequest authenticates and routes a client request. raw is the encoded
@@ -19,6 +20,7 @@ func (r *Replica) onRequest(req *message.Request, raw []byte) {
 		r.stats.DroppedMessages++
 		return
 	}
+	r.trace(obs.EvRequestIn, 0, int64(req.Client), req.Timestamp)
 	rec := r.clientRec(req.Client)
 
 	// At-most-once: old requests are dropped, the most recent one answered
@@ -175,6 +177,7 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 		return
 	}
 
+	r.trace(obs.EvPrePrepareRecv, pp.Seq, pp.View, 0)
 	s.havePP = true
 	s.view = pp.View
 	s.batchDigest = batch
@@ -298,6 +301,7 @@ func (r *Replica) advance(s *slot) {
 	}
 	f := r.cfg.F()
 	if s.checkPrepared(f) && !s.sentCommit {
+		r.trace(obs.EvPrepared, s.seq, s.view, 0)
 		s.sentCommit = true
 		s.addCommit(s.batchDigest, int32(r.cfg.Self))
 		if r.cfg.Opts.PiggybackCommits {
@@ -440,6 +444,7 @@ func (r *Replica) sendPrePrepare(batch []*bufferedRequest) {
 	pp.Auth = r.suite.Auth(r.cfg.N, content)
 	r.enc.Put(e)
 	r.broadcast(pp)
+	r.trace(obs.EvPrePrepareSent, seq, r.view, int64(len(batch)))
 
 	s := r.getSlot(seq)
 	s.havePP = true

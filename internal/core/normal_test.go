@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -487,4 +488,80 @@ func BenchmarkEngineLargeRequests(b *testing.B) {
 	if done != b.N {
 		b.Fatalf("completed %d of %d ops", done, b.N)
 	}
+}
+
+// TestTraceNormalCaseCommit asserts a traced replica records the full
+// normal-case commit sequence in protocol order. With tentative execution
+// (the default) the primary executes and replies before the commit quorum
+// forms; the second subtest turns it off and the commit boundary moves in
+// front of execution — the ordering the span assembler depends on.
+func TestTraceNormalCaseCommit(t *testing.T) {
+	t.Run("tentative", func(t *testing.T) {
+		g, recs := tracedGroup(t, 4, []int{100}, nil)
+		g.c.start()
+		if res := g.invoke(100, opSet("a", "1"), false); string(res) != "ok" {
+			t.Fatalf("op failed: %q", res)
+		}
+
+		primary := recs[0].Events(nil)
+		order := []obs.Kind{
+			obs.EvRequestIn, obs.EvPrePrepareSent, obs.EvPrepared,
+			obs.EvExecuted, obs.EvExecRequest, obs.EvReplySent, obs.EvCommitted,
+		}
+		prev := -1
+		for _, k := range order {
+			i := eventIndex(primary, k)
+			if i < 0 {
+				t.Fatalf("primary trace missing %v (events: %v)", k, primary)
+			}
+			if i <= prev {
+				t.Fatalf("primary trace has %v at index %d, want after index %d", k, i, prev)
+			}
+			prev = i
+		}
+		if e := primary[eventIndex(primary, obs.EvExecuted)]; e.Aux != 1 {
+			t.Errorf("EvExecuted Aux = %d, want 1 (tentative)", e.Aux)
+		}
+		if e := primary[eventIndex(primary, obs.EvExecRequest)]; e.Seq != 1 || e.Aux != 100 || e.Aux2 != 1 {
+			t.Errorf("EvExecRequest = seq %d client %d ts %d, want 1/100/1", e.Seq, e.Aux, e.Aux2)
+		}
+		if e := primary[eventIndex(primary, obs.EvPrePrepareSent)]; e.Seq != 1 || e.Aux != 0 {
+			t.Errorf("EvPrePrepareSent = seq %d view %d, want seq 1 view 0", e.Seq, e.Aux)
+		}
+
+		backup := recs[1].Events(nil)
+		if i := eventIndex(backup, obs.EvPrePrepareSent); i >= 0 {
+			t.Errorf("backup recorded EvPrePrepareSent at %d; only the primary multicasts", i)
+		}
+		prev = -1
+		for _, k := range []obs.Kind{obs.EvPrePrepareRecv, obs.EvPrepared, obs.EvExecuted, obs.EvCommitted} {
+			i := eventIndex(backup, k)
+			if i < 0 {
+				t.Fatalf("backup trace missing %v", k)
+			}
+			if i <= prev {
+				t.Fatalf("backup trace has %v at index %d, want after index %d", k, i, prev)
+			}
+			prev = i
+		}
+	})
+
+	t.Run("no-tentative", func(t *testing.T) {
+		g, recs := tracedGroup(t, 4, []int{100}, func(c *Config) {
+			c.Opts.TentativeExecution = false
+		})
+		g.c.start()
+		if res := g.invoke(100, opSet("a", "1"), false); string(res) != "ok" {
+			t.Fatalf("op failed: %q", res)
+		}
+		primary := recs[0].Events(nil)
+		ci := eventIndex(primary, obs.EvCommitted)
+		ei := eventIndex(primary, obs.EvExecuted)
+		if ci < 0 || ei < 0 || ci > ei {
+			t.Fatalf("without tentative execution commit (index %d) must precede execution (index %d)", ci, ei)
+		}
+		if e := primary[ei]; e.Aux != 0 {
+			t.Errorf("EvExecuted Aux = %d, want 0 (definitive)", e.Aux)
+		}
+	})
 }

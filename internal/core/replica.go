@@ -8,6 +8,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 )
 
@@ -112,7 +113,17 @@ type Replica struct {
 	commitScratch message.Commit
 	authScratch   crypto.Authenticator
 
+	rec   *obs.Recorder // nil disables tracing
 	stats Counters
+}
+
+// trace records one protocol event stamped with the engine's current time.
+// With tracing disabled (nil recorder) the hook is a single branch; enabled,
+// it writes one slot of a preallocated ring — zero allocations either way.
+func (r *Replica) trace(kind obs.Kind, seq, aux, aux2 int64) {
+	if r.rec != nil {
+		r.rec.Record(r.env.Now(), kind, seq, aux, aux2)
+	}
 }
 
 // vcRecord tracks one replica's view-change message for some view and the
@@ -172,6 +183,7 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 		pendingAcks: make(map[int64]map[int32]map[int32]crypto.Digest),
 		stChunks:    make(map[int64]*chunkedSnapshot),
 		peers:       peers,
+		rec:         cfg.Trace,
 	}, nil
 }
 
@@ -181,6 +193,23 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 // locking inside engines), so wall-time callers read them through an
 // injected action — transport.Node.Do — as bft.Replica.Stats does.
 func (r *Replica) Stats() Counters { return r.stats }
+
+// RegisterMetrics exposes the replica's counters and progress marks as
+// read-through gauges under prefix (e.g. "replica0."). Snapshots must be
+// taken from the node's event context, like Stats.
+func (r *Replica) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"executed_requests", func() int64 { return r.stats.ExecutedRequests })
+	reg.GaugeFunc(prefix+"executed_read_only", func() int64 { return r.stats.ExecutedReadOnly })
+	reg.GaugeFunc(prefix+"executed_batches", func() int64 { return r.stats.ExecutedBatches })
+	reg.GaugeFunc(prefix+"stable_checkpoints", func() int64 { return r.stats.StableCheckpoints })
+	reg.GaugeFunc(prefix+"view_changes", func() int64 { return r.stats.ViewChanges })
+	reg.GaugeFunc(prefix+"state_transfers", func() int64 { return r.stats.StateTransfers })
+	reg.GaugeFunc(prefix+"divergences", func() int64 { return r.stats.Divergences })
+	reg.GaugeFunc(prefix+"dropped_messages", func() int64 { return r.stats.DroppedMessages })
+	reg.GaugeFunc(prefix+"view", func() int64 { return r.view })
+	reg.GaugeFunc(prefix+"last_executed", func() int64 { return r.lastExec })
+	reg.GaugeFunc(prefix+"last_stable", func() int64 { return r.lastStable })
+}
 
 // View returns the replica's current view.
 func (r *Replica) View() int64 { return r.view }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bftfast/internal/crypto"
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 )
 
@@ -355,6 +356,33 @@ func buildGroup(t *testing.T, n int, clientIDs []int, mutate func(*Config)) *gro
 		c.add(id, cl)
 	}
 	return g
+}
+
+// tracedGroup builds a group whose replicas each record protocol events
+// into a private obs.Recorder, returned keyed by replica id.
+func tracedGroup(t *testing.T, n int, clientIDs []int, mutate func(*Config)) (*group, map[int]*obs.Recorder) {
+	t.Helper()
+	recs := make(map[int]*obs.Recorder)
+	g := buildGroup(t, n, clientIDs, func(c *Config) {
+		rec := obs.NewRecorder(int32(c.Self), 1<<12)
+		recs[c.Self] = rec
+		c.Trace = rec
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+	return g, recs
+}
+
+// eventIndex returns the position of the first event of the given kind, or
+// -1 if absent.
+func eventIndex(events []obs.Event, k obs.Kind) int {
+	for i, e := range events {
+		if e.Kind == k {
+			return i
+		}
+	}
+	return -1
 }
 
 // invoke submits one operation from the given client and runs the cluster

@@ -3,6 +3,7 @@ package core
 import (
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 // fragmentSize is the page size used to chunk checkpoint snapshots for
@@ -36,6 +37,7 @@ func (r *Replica) beginStateTransfer(target int64) {
 	if r.st != nil && r.st.target >= target {
 		return
 	}
+	r.trace(obs.EvStateFetch, target, 0, 0)
 	var bad map[int]bool
 	if r.st != nil {
 		bad = r.st.bad
@@ -229,6 +231,7 @@ func (r *Replica) onFragment(frag *message.Fragment) {
 	seq := st.meta.Seq
 	r.st = nil
 	r.stats.StateTransfers++
+	r.trace(obs.EvStateRestored, seq, 0, 0)
 	r.lastExec = seq
 	r.lastCommittedExec = seq
 	r.recordCheckpoint(seq, int32(r.cfg.Self), st.expect)

@@ -5,6 +5,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 // mergePQSets folds the current log into the P (prepared) and Q
@@ -44,6 +45,7 @@ func (r *Replica) startViewChange(newView int64) {
 	if newView <= r.view {
 		return
 	}
+	r.trace(obs.EvViewChangeStart, 0, newView, 0)
 	r.stats.ViewChanges++
 	r.mergePQSets()
 	r.view = newView
@@ -510,6 +512,7 @@ func decideNewView(cfg Config, vcs map[int32]*vcRecord) (minSeq int64, stableD c
 // execution, rebuilds the log from the new-view batches, and restarts the
 // ordering pipeline.
 func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
+	r.trace(obs.EvViewChangeDone, 0, nv.View, 0)
 	r.pendingNV = nil
 	r.inViewChange = false
 	r.vcTimeout = r.cfg.ViewChangeTimeout

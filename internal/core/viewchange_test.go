@@ -7,6 +7,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 )
 
 // crash makes the cluster drop every message to and from a node.
@@ -334,5 +335,40 @@ func TestPeriodicProactiveRecoveryKeepsServiceLive(t *testing.T) {
 	g.agreeState()
 	if got := g.sms[0].data["k"]; len(got) != 12 {
 		t.Fatalf("state has %d appends, want 12", len(got))
+	}
+}
+
+// TestTraceViewChange asserts every correct replica's trace brackets a
+// primary failure with view-change start/completion events carrying the
+// views involved.
+func TestTraceViewChange(t *testing.T) {
+	g, recs := tracedGroup(t, 4, []int{100}, nil)
+	g.c.start()
+	if res := g.invoke(100, opSet("a", "1"), false); string(res) != "ok" {
+		t.Fatalf("warmup failed: %q", res)
+	}
+	g.crash(0)
+	if res := g.invoke(100, opSet("b", "2"), false); string(res) != "ok" {
+		t.Fatalf("op after primary crash failed: %q", res)
+	}
+	for _, i := range []int{1, 2, 3} {
+		evts := recs[i].Events(nil)
+		si := eventIndex(evts, obs.EvViewChangeStart)
+		di := eventIndex(evts, obs.EvViewChangeDone)
+		if si < 0 || di < 0 {
+			t.Fatalf("replica %d trace missing view-change events (start %d, done %d)", i, si, di)
+		}
+		if di < si {
+			t.Fatalf("replica %d recorded view-change completion (index %d) before start (index %d)", i, di, si)
+		}
+		if v := evts[si].Aux; v < 1 {
+			t.Errorf("replica %d EvViewChangeStart targets view %d, want >= 1", i, v)
+		}
+		if v := evts[di].Aux; v < 1 {
+			t.Errorf("replica %d EvViewChangeDone entered view %d, want >= 1", i, v)
+		}
+		if evts[di].At < evts[si].At {
+			t.Errorf("replica %d view-change done at %v before start at %v", i, evts[di].At, evts[si].At)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"bftfast/internal/bench"
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 	"bftfast/internal/sim"
 )
@@ -39,6 +40,8 @@ var Benchmarks = []Bench{
 	{"AuthenticatorInto", BenchAuthenticatorInto},
 	{"AuthenticatorVerify", BenchAuthenticatorVerify},
 	{"SimKernelChurn", BenchSimKernelChurn},
+	{"TraceRecord", BenchTraceRecord},
+	{"HistogramObserve", BenchHistogramObserve},
 	{"EndToEndFigure4Point", BenchEndToEndFigure4Point},
 }
 
@@ -229,9 +232,35 @@ func BenchSimKernelChurn(b *testing.B) {
 	}
 }
 
+// BenchTraceRecord measures the enabled trace hook: one ring-buffer write
+// per event, zero allocations in steady state (the ring overwrites).
+func BenchTraceRecord(b *testing.B) {
+	rec := obs.NewRecorder(0, 1<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(time.Duration(i), obs.EvPrepared, int64(i), 3, 0)
+	}
+	sink = rec.Len()
+}
+
+// BenchHistogramObserve measures the latency-histogram hot path: a bucket
+// index computation and a handful of in-place counter updates.
+func BenchHistogramObserve(b *testing.B) {
+	var h obs.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*37 + 100)
+	}
+	sink = int(h.Count())
+}
+
 // BenchEndToEndFigure4Point runs one reduced-scale Figure 4 measurement
 // point (4 replicas, 10 clients, null operations) end to end: the number
-// that bounds how fast the full figure sweeps regenerate.
+// that bounds how fast the full figure sweeps regenerate. It also reports
+// the run's simulated latency percentiles as extra metrics, which
+// cmd/bench-host carries into BENCH_host.json.
 func BenchEndToEndFigure4Point(b *testing.B) {
 	p := bench.DefaultMicroParams()
 	p.Clients = 10
@@ -239,10 +268,13 @@ func BenchEndToEndFigure4Point(b *testing.B) {
 	p.Measure = 250 * time.Millisecond
 	b.ReportAllocs()
 	b.ResetTimer()
+	var last bench.MicroResult
 	for i := 0; i < b.N; i++ {
-		r := bench.RunMicro(p)
-		if r.Completed == 0 {
+		last = bench.RunMicro(p)
+		if last.Completed == 0 {
 			b.Fatal("reduced-scale run completed no operations")
 		}
 	}
+	b.ReportMetric(float64(last.P50.Microseconds()), "sim-p50-µs")
+	b.ReportMetric(float64(last.P99.Microseconds()), "sim-p99-µs")
 }

@@ -6,6 +6,7 @@ import (
 
 	"bftfast/internal/crypto"
 	"bftfast/internal/message"
+	"bftfast/internal/obs"
 	"bftfast/internal/sim"
 )
 
@@ -77,6 +78,52 @@ func TestSteadyStateAllocs(t *testing.T) {
 	var l message.EncoderList
 	if got := allocs(func() { sink = len(message.MarshalWith(&l, prep)) }); got != 1 {
 		t.Errorf("MarshalWith: %v allocs/op, want exactly 1 (the send clone)", got)
+	}
+}
+
+// TestTraceHookAllocs pins the observability layer's zero-allocation
+// contract on both sides of the enabling branch: a disabled hook (nil
+// recorder) is a bare nil check, and an enabled hook writes one slot of a
+// preallocated ring — including after wrap-around, the steady state of a
+// long run. The metrics primitives the hooks feed are held to the same bar.
+func TestTraceHookAllocs(t *testing.T) {
+	// Disabled: the exact guard shape the engines use.
+	var disabled *obs.Recorder
+	now := time.Duration(0)
+	if got := allocs(func() {
+		if disabled != nil {
+			disabled.Record(now, obs.EvPrepared, 1, 2, 3)
+		}
+	}); got != 0 {
+		t.Errorf("disabled trace hook: %v allocs/op, want 0", got)
+	}
+
+	// Enabled, with a ring small enough that the run wraps many times.
+	rec := obs.NewRecorder(0, 64)
+	i := int64(0)
+	if got := allocs(func() {
+		i++
+		rec.Record(time.Duration(i), obs.EvPrepared, i, 2, 3)
+	}); got != 0 {
+		t.Errorf("enabled trace hook: %v allocs/op, want 0", got)
+	}
+	if rec.Overwritten() == 0 {
+		t.Error("ring never wrapped; steady state not exercised")
+	}
+
+	var h obs.Histogram
+	if got := allocs(func() {
+		i++
+		h.Observe(i * 131)
+	}); got != 0 {
+		t.Errorf("Histogram.Observe: %v allocs/op, want 0", got)
+	}
+
+	reg := obs.NewRegistry()
+	c := reg.Counter("ops")
+	g := reg.Gauge("depth")
+	if got := allocs(func() { c.Inc(); g.Set(i) }); got != 0 {
+		t.Errorf("Counter.Inc/Gauge.Set: %v allocs/op, want 0", got)
 	}
 }
 

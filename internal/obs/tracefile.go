@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trace file format: an 8-byte magic, a little-endian uint64 event count,
+// then fixed-size 37-byte records (at, seq, aux, aux2 as int64 LE; node as
+// int32 LE; kind as one byte). The format is versioned through the magic.
+const traceMagic = "BFTTRC01"
+
+const traceRecordSize = 8 + 8 + 8 + 8 + 4 + 1
+
+// maxTraceEvents bounds decode allocation against corrupt headers.
+const maxTraceEvents = 1 << 28
+
+// WriteTrace encodes events to w in the binary trace format.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var rec [traceRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[:8], uint64(len(events)))
+	if _, err := bw.Write(rec[:8]); err != nil {
+		return err
+	}
+	for i := range events {
+		e := &events[i]
+		binary.LittleEndian.PutUint64(rec[0:], uint64(e.At))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(e.Seq))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.Aux))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(e.Aux2))
+		binary.LittleEndian.PutUint32(rec[32:], uint32(e.Node))
+		rec[36] = byte(e.Kind)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a binary trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("obs: reading trace header: %w", err)
+	}
+	if string(hdr[:8]) != traceMagic {
+		return nil, fmt.Errorf("obs: bad trace magic %q", hdr[:8])
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > maxTraceEvents {
+		return nil, fmt.Errorf("obs: trace claims %d events; limit is %d", n, maxTraceEvents)
+	}
+	events := make([]Event, n)
+	var rec [traceRecordSize]byte
+	for i := range events {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("obs: reading trace record %d/%d: %w", i, n, err)
+		}
+		events[i] = Event{
+			At:   time.Duration(binary.LittleEndian.Uint64(rec[0:])),
+			Seq:  int64(binary.LittleEndian.Uint64(rec[8:])),
+			Aux:  int64(binary.LittleEndian.Uint64(rec[16:])),
+			Aux2: int64(binary.LittleEndian.Uint64(rec[24:])),
+			Node: int32(binary.LittleEndian.Uint32(rec[32:])),
+			Kind: Kind(rec[36]),
+		}
+	}
+	return events, nil
+}

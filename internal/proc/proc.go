@@ -22,7 +22,10 @@ import "time"
 // goroutines.
 type Env interface {
 	// Now returns the time elapsed since the environment started. In
-	// simulation this is virtual time.
+	// simulation this is virtual time, and it may advance within a single
+	// callback as metered CPU costs accrue. It is also the clock that
+	// stamps observability trace events (internal/obs), which keeps traces
+	// deterministic across runs.
 	Now() time.Duration
 
 	// Send transmits an encoded message to the node with the given id.

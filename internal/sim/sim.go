@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bftfast/internal/crypto"
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 )
 
@@ -166,6 +167,37 @@ func (s *Simulator) AddMeteredNode(build func(meter crypto.Meter) proc.Handler) 
 
 // Stats returns a copy of the traffic counters for node id.
 func (s *Simulator) Stats(id int) NodeStats { return s.nodes[id].stats }
+
+// RegisterMetrics exposes every node's traffic counters plus cluster-wide
+// totals as read-through gauges under prefix (e.g. "sim."). Like Stats, the
+// gauges read live kernel state, so snapshots must not race a running
+// simulation (benchmarks drive the simulator from one goroutine anyway).
+func (s *Simulator) RegisterMetrics(reg *obs.Registry, prefix string) {
+	for _, n := range s.nodes {
+		n := n
+		base := fmt.Sprintf("%snode%d.", prefix, n.id)
+		reg.GaugeFunc(base+"msgs_sent", func() int64 { return n.stats.MsgsSent })
+		reg.GaugeFunc(base+"bytes_sent", func() int64 { return n.stats.BytesSent })
+		reg.GaugeFunc(base+"msgs_recv", func() int64 { return n.stats.MsgsRecv })
+		reg.GaugeFunc(base+"bytes_recv", func() int64 { return n.stats.BytesRecv })
+		reg.GaugeFunc(base+"drops", func() int64 { return n.stats.Drops })
+		reg.GaugeFunc(base+"cpu_busy_ns", func() int64 { return int64(n.stats.CPUBusy) })
+	}
+	reg.GaugeFunc(prefix+"drops", func() int64 {
+		var total int64
+		for _, n := range s.nodes {
+			total += n.stats.Drops
+		}
+		return total
+	})
+	reg.GaugeFunc(prefix+"msgs_sent", func() int64 {
+		var total int64
+		for _, n := range s.nodes {
+			total += n.stats.MsgsSent
+		}
+		return total
+	})
+}
 
 // schedule enqueues ev at time at (clamped to now). ev's at/seq fields are
 // assigned here; callers fill the rest.

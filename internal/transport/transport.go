@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bftfast/internal/obs"
 	"bftfast/internal/proc"
 )
 
@@ -59,6 +61,10 @@ type Node struct {
 	// had already canceled.
 	timerGen map[int]uint64
 	closed   bool
+
+	// drops counts datagrams and timer expiries discarded because the
+	// inbox was full; post runs on arbitrary goroutines, hence atomic.
+	drops atomic.Int64
 }
 
 // nodeEnv is the proc.Env exposed to the handler; all its methods run on
@@ -143,7 +149,18 @@ func (n *Node) post(ev event) {
 	case <-n.done:
 	default:
 		// Inbox full: drop, like a kernel socket buffer.
+		n.drops.Add(1)
 	}
+}
+
+// Dropped reports how many events were discarded on a full inbox.
+func (n *Node) Dropped() int64 { return n.drops.Load() }
+
+// RegisterMetrics exposes the node's transport counters under prefix
+// (e.g. "node3."). The gauges are atomics and safe to snapshot while the
+// node runs.
+func (n *Node) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"inbox_drops", n.drops.Load)
 }
 
 // Do runs fn on the node's event loop (used to inject client operations).

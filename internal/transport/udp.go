@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"bftfast/internal/obs"
 )
 
 // maxDatagram bounds UDP reads; the protocol's largest normal-case
@@ -30,6 +32,13 @@ type UDPNetwork struct {
 // A nonzero count means a peer sends datagrams at or above maxDatagram and
 // the limit needs raising in lockstep on every node.
 func (u *UDPNetwork) Oversized() int64 { return u.oversized.Load() }
+
+// RegisterMetrics exposes the network's drop counters under prefix
+// (e.g. "udp.") through the unified obs snapshot API. The gauges read
+// atomics and are safe to snapshot while readers run.
+func (u *UDPNetwork) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"oversized", u.oversized.Load)
+}
 
 // NewUDPNetwork builds a network from a node-id to address table.
 func NewUDPNetwork(addrs map[int]string) (*UDPNetwork, error) {

@@ -1,6 +1,10 @@
 package transport
 
-import "testing"
+import (
+	"testing"
+
+	"bftfast/internal/obs"
+)
 
 // TestUDPDeliverDropsBufferFillingDatagram checks the truncation guard: a
 // read that fills the entire buffer may have been cut off by the kernel,
@@ -32,6 +36,49 @@ func TestUDPDeliverDropsBufferFillingDatagram(t *testing.T) {
 	}
 	if got := u.Oversized(); got != 1 {
 		t.Fatalf("Oversized() = %d after legal delivery, want 1", got)
+	}
+}
+
+// TestUDPMetricsSnapshot checks the drop counters surface through the
+// unified obs registry: the snapshot gauge tracks Oversized live.
+func TestUDPMetricsSnapshot(t *testing.T) {
+	u := &UDPNetwork{}
+	reg := obs.NewRegistry()
+	u.RegisterMetrics(reg, "udp.")
+
+	m, ok := reg.Get("udp.oversized")
+	if !ok || m.Kind != obs.KindGauge || m.Value != 0 {
+		t.Fatalf("udp.oversized = %+v (ok=%v), want gauge 0", m, ok)
+	}
+
+	buf := make([]byte, maxDatagram)
+	u.deliver(buf, maxDatagram, func([]byte) { t.Fatal("truncated datagram delivered") })
+	u.deliver(buf, maxDatagram, func([]byte) { t.Fatal("truncated datagram delivered") })
+
+	if m, _ = reg.Get("udp.oversized"); m.Value != 2 {
+		t.Fatalf("udp.oversized = %d after two drops, want 2", m.Value)
+	}
+	if m.Value != u.Oversized() {
+		t.Fatalf("snapshot %d disagrees with Oversized() %d", m.Value, u.Oversized())
+	}
+}
+
+// TestNodeMetricsSnapshot checks the event-loop inbox drop counter is
+// exported through the same registry surface.
+func TestNodeMetricsSnapshot(t *testing.T) {
+	n := &Node{inbox: make(chan event), done: make(chan struct{})}
+	reg := obs.NewRegistry()
+	n.RegisterMetrics(reg, "node0.")
+
+	// An unserviced zero-capacity inbox forces the drop path.
+	n.post(event{data: []byte("x")})
+	n.post(event{data: []byte("y")})
+
+	if got := n.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	if m, ok := reg.Get("node0.inbox_drops"); !ok || m.Value != 2 {
+		t.Fatalf("node0.inbox_drops = %+v (ok=%v), want 2", m, ok)
 	}
 }
 
