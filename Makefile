@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race bench bench-host breakdown figures fs-figures examples clean
+.PHONY: all build lint test test-race test-adversary fuzz-smoke bench bench-host breakdown figures fs-figures examples clean
 
 all: build lint test
 
@@ -27,6 +27,24 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Byzantine adversary campaign under the race detector: per-behavior safety
+# runs plus the full liveness sweep. BFT_CAMPAIGN_OUT makes the sweep write
+# campaign_summary.txt and campaign.json (per-phase breakdowns) for CI
+# artifact upload; BFT_CHAOS_SEED replays a reported failure seed.
+test-adversary:
+	BFT_CAMPAIGN_OUT=$(CURDIR) $(GO) test -race -count=1 -v -run 'TestSafetyRunPerBehavior|TestCampaign' ./internal/adversary/...
+	$(GO) test -race -count=1 -run 'Equivocating|CorruptTransfer|WrapReplica' ./internal/core ./internal/bench
+
+# Short deterministic fuzz pass over every message-decode fuzz target,
+# seeded from the adversary garbage corpus (internal/adversary). CI runs
+# this as a smoke; raise FUZZTIME locally for a real session.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	@set -e; for f in FuzzUnmarshal FuzzDecoderPrimitives FuzzUnmarshalPrepareInto FuzzUnmarshalCommitInto FuzzUnmarshalReplyInto; do \
+		echo "--- fuzz $$f ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/message; \
+	done
 
 # Every paper figure at reduced resolution (a few minutes).
 bench:

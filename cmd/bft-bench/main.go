@@ -10,7 +10,8 @@
 //	bft-bench -figure tentative  # §4.4 tentative-execution results
 //	bft-bench -figure piggyback  # §4.4 piggybacked-commit results
 //	bft-bench -figure ablation   # design-knob sweeps (window, K, threshold)
-//	bft-bench -figure all        # everything
+//	bft-bench -figure adversary  # Byzantine campaign + adversarial 4/0 column
+//	bft-bench -figure all        # everything (without the adversary campaign)
 //
 // -scale shrinks measurement windows for quick looks (e.g. -scale 0.2).
 package main
@@ -21,11 +22,12 @@ import (
 	"os"
 	"strings"
 
+	"bftfast/internal/adversary/campaign"
 	"bftfast/internal/bench"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 2-7, tentative, piggyback, all")
+	figure := flag.String("figure", "all", "figure to regenerate: 2-7, tentative, piggyback, ablation, adversary, all")
 	scale := flag.Float64("scale", 1.0, "measurement-window scale (smaller is faster, noisier)")
 	clientsFlag := flag.String("clients", "", "comma-separated client counts for throughput sweeps")
 	flag.Parse()
@@ -72,6 +74,16 @@ func main() {
 			bench.AblationWindow(50, *scale).Print(out)
 			bench.AblationCheckpointInterval(50, *scale).Print(out)
 			bench.AblationInlineThreshold(*scale).Print(out)
+		case "adversary":
+			campaign.AdversarialFigure4(clients, *scale).Print(out)
+			res := campaign.Run(campaign.Params{Seed: 1, Scale: *scale, Clients: 10})
+			for _, tab := range res.Tables() {
+				tab.Print(out)
+			}
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(os.Stderr, "bft-bench: adversarial campaign: %v\n", err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "bft-bench: unknown figure %q\n", name)
 			os.Exit(2)

@@ -29,6 +29,7 @@ import (
 // contract: every package whose code runs inside proc.Handler callbacks
 // on both the simulator and the wall-time transports.
 var EnginePackages = map[string]bool{
+	"bftfast/internal/adversary":     true,
 	"bftfast/internal/core":          true,
 	"bftfast/internal/bfs":           true,
 	"bftfast/internal/norep":         true,

@@ -131,11 +131,31 @@ type MicroParams struct {
 	CostModel sim.CostModel
 
 	// Optional protocol-knob overrides (zero keeps the default): the
-	// primary's sliding window W, the checkpoint interval K, and the
-	// separate-request-transmission inline threshold.
+	// primary's sliding window W, the checkpoint interval K, the
+	// separate-request-transmission inline threshold, and the client
+	// retransmission floor.
 	Window             int64
 	CheckpointInterval int64
 	InlineThreshold    int
+	RetransmitFloor    time.Duration
+
+	// WrapReplica, when set, wraps each replica engine at the node boundary
+	// before it is installed in the simulator — the Byzantine-adversary
+	// hook (internal/adversary's Scenario.WrapReplica matches this
+	// signature; bench deliberately does not import it). It receives the
+	// replica id, the group size, the engine, and the replica's own key
+	// table, and must be deterministic. Returning h unchanged leaves the
+	// replica honest; a nil hook leaves the run bit-identical to one
+	// without the field.
+	WrapReplica func(id, n int, h proc.Handler, keys *crypto.KeyTable) proc.Handler
+	// Snapshots keeps checkpoint state snapshots enabled. The fault-free
+	// benchmark disables them (the paper's normal case); adversarial runs
+	// need them so view changes can roll back tentative execution.
+	Snapshots bool
+	// ViewChangeTimeout overrides the replicas' suspicion timeout (zero
+	// keeps the benchmark default of 2s, generous enough that saturation
+	// drops heal by retransmission instead of deposing the primary).
+	ViewChangeTimeout time.Duration
 
 	// Trace enables protocol tracing: every replica and client engine gets
 	// a private obs.Recorder, and the merged event stream is returned in
@@ -235,7 +255,7 @@ func RunMicro(p MicroParams) MicroResult {
 			s.AddMeteredNode(func(m crypto.Meter) proc.Handler {
 				cfg := core.DefaultConfig(n, i)
 				cfg.Opts = p.Opts
-				cfg.CheckpointSnapshots = false // fault-free normal case
+				cfg.CheckpointSnapshots = p.Snapshots // off in the fault-free normal case
 				if p.Window > 0 {
 					cfg.Window = p.Window
 				}
@@ -252,6 +272,9 @@ func RunMicro(p MicroParams) MicroResult {
 				// were generous relative to retransmission, so saturation
 				// drops heal by resending instead of deposing the primary.
 				cfg.ViewChangeTimeout = 2 * time.Second
+				if p.ViewChangeTimeout > 0 {
+					cfg.ViewChangeTimeout = p.ViewChangeTimeout
+				}
 				cfg.StatusInterval = 50 * time.Millisecond
 				cfg.Trace = newRec(i)
 				rep, err := core.NewReplica(cfg, simpleservice.Service{}, tables[i], m, nil)
@@ -259,6 +282,9 @@ func RunMicro(p MicroParams) MicroResult {
 					panic(fmt.Sprintf("bench: replica %d: %v", i, err))
 				}
 				rep.RegisterMetrics(reg, fmt.Sprintf("replica%d.", i))
+				if p.WrapReplica != nil {
+					return p.WrapReplica(i, n, rep, tables[i])
+				}
 				return rep
 			})
 		}
@@ -269,12 +295,16 @@ func RunMicro(p MicroParams) MicroResult {
 				if p.InlineThreshold > 0 {
 					threshold = p.InlineThreshold
 				}
+				retransmit := 800 * time.Millisecond
+				if p.RetransmitFloor > 0 {
+					retransmit = p.RetransmitFloor
+				}
 				cfg := core.ClientConfig{
 					N:                 n,
 					Self:              n + c,
 					Opts:              p.Opts,
 					InlineThreshold:   threshold,
-					RetransmitTimeout: 800 * time.Millisecond,
+					RetransmitTimeout: retransmit,
 					Trace:             newRec(n + c),
 				}
 				cl, err := core.NewClient(cfg, tables[n+c], m)

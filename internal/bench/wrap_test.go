@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"bftfast/internal/crypto"
+	"bftfast/internal/proc"
+)
+
+// TestWrapReplicaNoopIsBitIdentical guards the adversary hook's zero-cost
+// contract: a WrapReplica hook that returns the handler unchanged must
+// produce exactly the run a nil hook produces — same metrics, same merged
+// trace, event for event. The headline figures therefore cannot shift just
+// because the hook exists.
+func TestWrapReplicaNoopIsBitIdentical(t *testing.T) {
+	base := DefaultMicroParams()
+	base.Clients = 4
+	base.Warmup = 100 * time.Millisecond
+	base.Measure = 300 * time.Millisecond
+	base.Trace = true
+
+	ref := RunMicro(base)
+
+	wrapped := base
+	var wraps int
+	wrapped.WrapReplica = func(id, n int, h proc.Handler, keys *crypto.KeyTable) proc.Handler {
+		wraps++
+		return h
+	}
+	got := RunMicro(wrapped)
+
+	if wraps != base.Replicas {
+		t.Fatalf("hook ran %d times, want %d", wraps, base.Replicas)
+	}
+	if got.Throughput != ref.Throughput || got.Completed != ref.Completed ||
+		got.Lost != ref.Lost || got.Latency != ref.Latency ||
+		got.P50 != ref.P50 || got.P99 != ref.P99 {
+		t.Fatalf("no-op hook changed headline metrics:\nnil:  %+v\nhook: %+v",
+			headline(ref), headline(got))
+	}
+	if len(got.Events) != len(ref.Events) {
+		t.Fatalf("no-op hook changed trace length: %d vs %d", len(got.Events), len(ref.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != ref.Events[i] {
+			t.Fatalf("trace diverges at event %d: %+v vs %+v", i, got.Events[i], ref.Events[i])
+		}
+	}
+}

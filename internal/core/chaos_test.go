@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -11,12 +14,27 @@ import (
 	"bftfast/internal/obs"
 )
 
+// chaosSeeds returns the seed sweep for chaos tests. BFT_CHAOS_SEED
+// narrows it to a single seed, so a failure line like "seed=3" replays
+// with: BFT_CHAOS_SEED=3 go test -run TestChaosLossyNetworkConverges.
+func chaosSeeds(t *testing.T, defaults ...int64) []int64 {
+	t.Helper()
+	if v := os.Getenv("BFT_CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad BFT_CHAOS_SEED %q: %v", v, err)
+		}
+		return []int64{seed}
+	}
+	return defaults
+}
+
 // TestChaosLossyNetworkConverges drives the group through a lossy, delayed
 // network with several adversarial seeds and asserts the two core
 // guarantees: every client operation eventually completes exactly once,
 // and all correct replicas converge to identical state.
 func TestChaosLossyNetworkConverges(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
+	for _, seed := range chaosSeeds(t, 1, 2, 3, 4, 5, 6) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			g := buildGroup(t, 4, []int{100, 101}, func(c *Config) {
@@ -285,27 +303,8 @@ func TestDecideNewViewUndecidableWaits(t *testing.T) {
 // event stream carries non-decreasing virtual timestamps (oldest-first even
 // after ring wrap-around), and the merged stream is globally time-ordered.
 func TestChaosTraceTimestampsMonotonic(t *testing.T) {
-	g, recs := tracedGroup(t, 4, []int{100, 101}, func(c *Config) {
-		c.CheckpointInterval = 4
-		c.LogWindow = 8
-		c.ViewChangeTimeout = time.Second
-	})
-	rng := rand.New(rand.NewSource(11)) //nolint:gosec // deterministic chaos
-	lossy := true
-	g.c.drop = func(src, dst int, data []byte) bool {
-		return lossy && rng.Float64() < 0.15
-	}
-	g.c.start()
-
-	done := 0
-	const ops = 10
-	for i := 0; i < ops; i++ {
-		g.invokeAsync(100, opAppend("a", "x"), false, &done)
-		g.invokeAsync(101, opAppend("b", "y"), false, &done)
-	}
-	g.c.run(func() bool { return done == 2*ops }, 60*time.Second, "chaos ops (traced)")
-	lossy = false
-	g.c.advance(6 * time.Second)
+	seed := chaosSeeds(t, 11)[0]
+	_, recs := tracedChaosRun(t, seed)
 
 	ordered := make([]*obs.Recorder, 0, len(recs))
 	for i := 0; i < 4; i++ {
@@ -327,7 +326,61 @@ func TestChaosTraceTimestampsMonotonic(t *testing.T) {
 	merged := obs.Merge(ordered...)
 	for j := 1; j < len(merged); j++ {
 		if merged[j].At < merged[j-1].At {
-			t.Fatalf("merged stream reordered at %d: %v after %v", j, merged[j].At, merged[j-1].At)
+			t.Fatalf("seed %d: merged stream reordered at %d: %v after %v", seed, j, merged[j].At, merged[j-1].At)
 		}
+	}
+}
+
+// tracedChaosRun drives the traced lossy-network scenario with the given
+// seed to quiescence and returns the group and per-replica recorders.
+func tracedChaosRun(t *testing.T, seed int64) (*group, map[int]*obs.Recorder) {
+	t.Helper()
+	g, recs := tracedGroup(t, 4, []int{100, 101}, func(c *Config) {
+		c.CheckpointInterval = 4
+		c.LogWindow = 8
+		c.ViewChangeTimeout = time.Second
+	})
+	rng := rand.New(rand.NewSource(seed)) //nolint:gosec // deterministic chaos
+	lossy := true
+	g.c.drop = func(src, dst int, data []byte) bool {
+		return lossy && rng.Float64() < 0.15
+	}
+	g.c.start()
+
+	done := 0
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		g.invokeAsync(100, opAppend("a", "x"), false, &done)
+		g.invokeAsync(101, opAppend("b", "y"), false, &done)
+	}
+	g.c.run(func() bool { return done == 2*ops }, 60*time.Second, "chaos ops (traced)")
+	lossy = false
+	g.c.advance(6 * time.Second)
+	return g, recs
+}
+
+// TestFixedSeedReproducesByteIdenticalTrace is the replay contract behind
+// BFT_CHAOS_SEED: the same seed must reproduce the same run, down to the
+// serialized protocol trace. Hidden nondeterminism — map-iteration
+// dependence, wall-clock leakage, unseeded randomness — breaks this test
+// before it breaks anything subtler.
+func TestFixedSeedReproducesByteIdenticalTrace(t *testing.T) {
+	seed := chaosSeeds(t, 11)[0]
+	serialize := func() []byte {
+		_, recs := tracedChaosRun(t, seed)
+		ordered := make([]*obs.Recorder, 0, len(recs))
+		for i := 0; i < len(recs); i++ {
+			ordered = append(ordered, recs[i])
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTrace(&buf, obs.Merge(ordered...)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("seed %d: two identically seeded runs serialized different traces (%d vs %d bytes)",
+			seed, len(a), len(b))
 	}
 }

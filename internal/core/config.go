@@ -27,6 +27,7 @@ const (
 	timerKeyRotation = 3 // periodic session-key refresh
 	timerCommitFlush = 4 // piggyback fallback: flush unsent commits
 	timerRecovery    = 5 // proactive recovery (extension)
+	timerBodyFetch   = 6 // grace period before fetching late separately transmitted bodies
 )
 
 // Options toggles the paper's normal-case optimizations (§3.1). The zero

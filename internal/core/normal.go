@@ -195,14 +195,20 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 	r.applyPiggybackCommits(pp.Commits, int32(primary), pp.View)
 	if s.resolved() {
 		r.onSlotResolved(s)
-	} else if s.missing > 0 {
-		// Separately transmitted bodies usually precede the pre-prepare;
-		// if one is missing here, the client's multicast to us was lost.
-		// Fetch the batch from the primary right away (it must hold every
-		// body it proposed) instead of stalling until retransmission.
-		f := &message.Fetch{Level: -1, Index: pp.Seq, Seq: r.lastStable, Replica: int32(r.cfg.Self)}
-		f.Auth = r.suite.Auth(r.cfg.N, f.AuthContent())
-		r.send(primary, f)
+	}
+	// A missing body here does NOT mean the client's multicast was lost —
+	// under load it is usually just late: bodies serialize behind other
+	// bodies at this port while the small pre-prepare slips past them.
+	// Fetching immediately makes the primary answer with the batch fully
+	// inlined (tens of KB), duplicating traffic exactly when the links
+	// are busiest; with hundreds of clients the duplicate bodies delay
+	// the next pre-prepares, which lose more races, which trigger more
+	// fetches. Instead a short grace timer lets queued bodies drain, and
+	// fetchLateBodies recovers only the ones that still have not shown
+	// up — those were genuinely dropped.
+	if s.missing > 0 && !r.bodyFetchArmed {
+		r.bodyFetchArmed = true
+		r.env.SetTimer(timerBodyFetch, r.cfg.StatusInterval/16)
 	}
 	r.syncVCTimer(false)
 }

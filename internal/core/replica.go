@@ -100,6 +100,7 @@ type Replica struct {
 	knownStable    int64 // highest quorum-attested checkpoint seen anywhere
 	statusTicks    int64
 	lastStatusMark [3]int64 // (view, lastExec, lastCommittedExec) at the previous status tick
+	bodyFetchArmed bool     // a timerBodyFetch grace period is running
 
 	// Hot-path scratch state (engine-local, reused per message; see the
 	// "Host performance architecture" section of DESIGN.md). peers caches
@@ -329,6 +330,9 @@ func (r *Replica) OnTimer(key int) {
 		r.env.SetTimer(timerKeyRotation, r.cfg.KeyRotationInterval)
 	case timerCommitFlush:
 		r.flushPiggybackCommits()
+	case timerBodyFetch:
+		r.bodyFetchArmed = false
+		r.fetchLateBodies()
 	case timerRecovery:
 		r.startRecovery()
 		if r.cfg.RecoveryInterval > 0 {

@@ -44,7 +44,7 @@ func TestRebuildPrePreparesChunksLargeBatches(t *testing.T) {
 	s.requests = requests
 	s.batchDigest = message.BatchDigest(crypto.NewSuite(g.tables[0], nil), digests)
 
-	pps := primary.rebuildPrePrepares(s)
+	pps := primary.rebuildPrePrepares(s, nil)
 	if len(pps) < 3 {
 		t.Fatalf("30 x 4KB batch rebuilt as %d chunks, want several", len(pps))
 	}

@@ -127,7 +127,7 @@ func (r *Replica) onFetch(f *message.Fetch) {
 		if s == nil || !s.resolved() || s.null {
 			return
 		}
-		for _, pp := range r.rebuildPrePrepares(s) {
+		for _, pp := range r.rebuildPrePrepares(s, f.Missing) {
 			r.send(sender, pp)
 		}
 	case 0: // meta-data of our last stable checkpoint

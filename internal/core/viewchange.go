@@ -591,6 +591,7 @@ func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
 		r.lastPP = r.lastExec
 	}
 	r.inFlight = rebuildInFlight(r.log)
+	r.salvageRequests(oldLog)
 
 	// Restart ordering: backups prepare every re-proposed batch; unknown
 	// bodies are fetched by digest.
@@ -635,6 +636,51 @@ func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
 	r.tryExecute()
 	r.trySendBatches()
 	r.syncVCTimer(true)
+}
+
+// salvageRequests re-buffers authenticated request bodies that were held
+// only inside superseded log slots. A backup that accepted the old
+// primary's pre-prepare stores inline bodies in the slot, not reqBuffer;
+// if the new view decided a different batch for that sequence (e.g. after
+// a primary equivocated), rebuilding the log would otherwise drop those
+// requests and liveness would stall until clients retransmit. Backups also
+// relay small salvaged bodies to the new primary, which may never have
+// seen them.
+func (r *Replica) salvageRequests(oldLog map[int64]*slot) {
+	primary := r.cfg.PrimaryOf(r.view)
+	// Walk superseded slots in ascending sequence order, not map order:
+	// the relays below hit the wire, and send order is part of the
+	// determinism contract.
+	seqs := make([]int64, 0, len(oldLog))
+	for n := range oldLog {
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, n := range seqs {
+		s := oldLog[n]
+		for i, req := range s.requests {
+			if req == nil {
+				continue
+			}
+			d := s.reqDigests[i]
+			if _, ok := r.reqBuffer[d]; ok {
+				continue
+			}
+			if _, assigned := r.inFlight[d]; assigned {
+				continue // re-proposed by the new view
+			}
+			if rec := r.clients[req.Client]; rec != nil && req.Timestamp <= rec.lastTimestamp {
+				continue // committed and executed under the old view
+			}
+			raw := message.Marshal(req)
+			r.reqBuffer[d] = &bufferedRequest{req: req, raw: raw, digest: d, relayed: true}
+			if !r.isPrimary() && !(r.cfg.Opts.SeparateRequests && len(raw) > r.cfg.InlineThreshold) {
+				// Send buffers hand ownership to the environment; the
+				// buffered copy stays ours.
+				r.env.Send(primary, append([]byte(nil), raw...))
+			}
+		}
+	}
 }
 
 // rebuildInFlight recomputes the request-to-sequence assignment from the

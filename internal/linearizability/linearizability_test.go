@@ -136,6 +136,62 @@ func TestEmptyAndOversizedHistories(t *testing.T) {
 	}
 }
 
+// TestReadOnlyFastPathStaleRejected pins the §3.1 hazard of the read-only
+// optimization: a read answered from 2f+1 local states without ordering
+// must still reflect every write whose client already collected its reply
+// quorum. The history below is what a broken fast path would record — the
+// write to "new" returns, then a read-only operation invoked strictly
+// later observes the superseded value — and the checker must reject it.
+// The adversary campaign's scripted clients issue exactly this
+// write-then-read-only pattern so a protocol regression surfaces here.
+func TestReadOnlyFastPathStaleRejected(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Write, Value: "old", Invoke: ms(0), Return: ms(2)},
+		{Client: 1, Kind: Write, Value: "new", Invoke: ms(4), Return: ms(6)},
+		// Concurrent with nothing: invoked after the "new" quorum.
+		{Client: 2, Kind: Read, Value: "old", Invoke: ms(8), Return: ms(9)},
+	}
+	_, err := Check("", h)
+	if err == nil {
+		t.Fatal("stale read-only result accepted")
+	}
+	// The violation must show the offending operations so a campaign
+	// failure is diagnosable from the error alone.
+	if !strings.Contains(err.Error(), `R("old")`) {
+		t.Fatalf("violation does not name the stale read: %v", err)
+	}
+}
+
+// TestVanishingWriteRejected covers the tentative-execution rollback
+// hazard: a write acknowledged to its client (2f+1 tentative replies) must
+// survive a view change. If it were rolled back and never re-executed, a
+// later read would observe the initial value again.
+func TestVanishingWriteRejected(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Write, Value: "a", Invoke: ms(0), Return: ms(1)},
+		{Client: 2, Kind: Read, Value: "a", Invoke: ms(2), Return: ms(3)},
+		// After the view change: the write has vanished.
+		{Client: 2, Kind: Read, Value: "", Invoke: ms(10), Return: ms(11)},
+	}
+	if _, err := Check("", h); err == nil {
+		t.Fatal("acknowledged write vanished and the history was accepted")
+	}
+}
+
+// TestObservedWriteOrdersIt also matters under equivocation: once any
+// reader observes a concurrent write, later readers cannot observe the
+// value it replaced.
+func TestObservedWriteOrdersIt(t *testing.T) {
+	h := History{
+		{Client: 1, Kind: Write, Value: "x", Invoke: ms(0), Return: ms(20)},
+		{Client: 2, Kind: Read, Value: "x", Invoke: ms(2), Return: ms(4)},
+		{Client: 3, Kind: Read, Value: "", Invoke: ms(6), Return: ms(8)},
+	}
+	if _, err := Check("", h); err == nil {
+		t.Fatal("write un-happened between two sequential reads")
+	}
+}
+
 func TestWitnessRespectsRealTime(t *testing.T) {
 	h := History{
 		{Client: 1, Kind: Write, Value: "a", Invoke: ms(0), Return: ms(1)},

@@ -1,0 +1,161 @@
+// Decode-into fuzzers live in an external test package so they can seed
+// from the adversary's garbage corpus (internal/adversary imports
+// internal/message; an internal test importing it back would cycle).
+package message_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bftfast/internal/adversary"
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+)
+
+// addCorpus seeds a fuzzer with the adversary's garbage corpus: truncated,
+// bit-flipped, and type-confused variants of every hot-path message. The
+// seeds run as ordinary unit tests, so the corpus doubles as a regression
+// suite — every buffer must decode cleanly or fail cleanly, never panic.
+func addCorpus(f *testing.F) {
+	for _, b := range adversary.GarbageCorpus(1) {
+		f.Add(b)
+	}
+}
+
+// dirtyPrepare returns a scratch Prepare polluted by a previous decode, the
+// way engines reuse one value across the hot loop: non-empty Commits and
+// Auth whose capacity the next decode must correctly reuse or replace.
+func dirtyPrepare() *message.Prepare {
+	seed := message.Marshal(&message.Prepare{
+		View: 9, Seq: 9, Replica: 3,
+		Commits: []message.CommitRef{{Seq: 1}, {Seq: 2}},
+		Auth:    make(crypto.Authenticator, 7),
+	})
+	p := new(message.Prepare)
+	if err := message.UnmarshalPrepareInto(seed, p); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuzzUnmarshalPrepareInto checks the zero-alloc prepare decoder against
+// three invariants on arbitrary input: it never panics, it agrees with the
+// generic Unmarshal on both acceptance and decoded content, and decoding
+// into a polluted scratch value yields the same message as a fresh one.
+func FuzzUnmarshalPrepareInto(f *testing.F) {
+	addCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fresh message.Prepare
+		freshErr := message.UnmarshalPrepareInto(data, &fresh)
+		dirty := dirtyPrepare()
+		dirtyErr := message.UnmarshalPrepareInto(data, dirty)
+		if (freshErr == nil) != (dirtyErr == nil) {
+			t.Fatalf("scratch reuse changed acceptance: fresh=%v dirty=%v", freshErr, dirtyErr)
+		}
+		m, gerr := message.Unmarshal(data)
+		if freshErr == nil {
+			if gerr != nil {
+				t.Fatalf("Into accepted what Unmarshal rejects: %v", gerr)
+			}
+			gp, ok := m.(*message.Prepare)
+			if !ok {
+				t.Fatalf("tag confusion: Unmarshal returned %T", m)
+			}
+			if !bytes.Equal(message.Marshal(&fresh), message.Marshal(gp)) {
+				t.Fatal("Into and Unmarshal decode the same bytes differently")
+			}
+			if !bytes.Equal(message.Marshal(&fresh), message.Marshal(dirty)) {
+				t.Fatal("scratch reuse changed the decoded message")
+			}
+		} else if gerr == nil {
+			if _, ok := m.(*message.Prepare); ok {
+				t.Fatal("Unmarshal accepted a prepare the Into path rejects")
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalCommitInto is the commit-path analogue of
+// FuzzUnmarshalPrepareInto.
+func FuzzUnmarshalCommitInto(f *testing.F) {
+	addCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fresh message.Commit
+		freshErr := message.UnmarshalCommitInto(data, &fresh)
+		dirty := &message.Commit{Auth: make(crypto.Authenticator, 7)}
+		dirtyErr := message.UnmarshalCommitInto(data, dirty)
+		if (freshErr == nil) != (dirtyErr == nil) {
+			t.Fatalf("scratch reuse changed acceptance: fresh=%v dirty=%v", freshErr, dirtyErr)
+		}
+		m, gerr := message.Unmarshal(data)
+		if freshErr == nil {
+			if gerr != nil {
+				t.Fatalf("Into accepted what Unmarshal rejects: %v", gerr)
+			}
+			gc, ok := m.(*message.Commit)
+			if !ok {
+				t.Fatalf("tag confusion: Unmarshal returned %T", m)
+			}
+			if !bytes.Equal(message.Marshal(&fresh), message.Marshal(gc)) {
+				t.Fatal("Into and Unmarshal decode the same bytes differently")
+			}
+			if !bytes.Equal(message.Marshal(&fresh), message.Marshal(dirty)) {
+				t.Fatal("scratch reuse changed the decoded message")
+			}
+		} else if gerr == nil {
+			if _, ok := m.(*message.Commit); ok {
+				t.Fatal("Unmarshal accepted a commit the Into path rejects")
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalReplyInto covers the client-side hot path; Reply carries a
+// MAC and an aliasing Result blob rather than an authenticator.
+func FuzzUnmarshalReplyInto(f *testing.F) {
+	addCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fresh message.Reply
+		freshErr := message.UnmarshalReplyInto(data, &fresh)
+		dirty := &message.Reply{Result: []byte("stale previous result")}
+		dirtyErr := message.UnmarshalReplyInto(data, dirty)
+		if (freshErr == nil) != (dirtyErr == nil) {
+			t.Fatalf("scratch reuse changed acceptance: fresh=%v dirty=%v", freshErr, dirtyErr)
+		}
+		m, gerr := message.Unmarshal(data)
+		if freshErr == nil {
+			if gerr != nil {
+				t.Fatalf("Into accepted what Unmarshal rejects: %v", gerr)
+			}
+			gr, ok := m.(*message.Reply)
+			if !ok {
+				t.Fatalf("tag confusion: Unmarshal returned %T", m)
+			}
+			if !bytes.Equal(message.Marshal(&fresh), message.Marshal(gr)) {
+				t.Fatal("Into and Unmarshal decode the same bytes differently")
+			}
+			if !bytes.Equal(message.Marshal(&fresh), message.Marshal(dirty)) {
+				t.Fatal("scratch reuse changed the decoded message")
+			}
+		} else if gerr == nil {
+			if _, ok := m.(*message.Reply); ok {
+				t.Fatal("Unmarshal accepted a reply the Into path rejects")
+			}
+		}
+	})
+}
+
+// TestGarbageCorpusThroughGenericDecode pushes every corpus buffer through
+// Unmarshal so the corpus guards the generic path too (the Into fuzzers
+// only reach it for their own type tags).
+func TestGarbageCorpusThroughGenericDecode(t *testing.T) {
+	for i, b := range adversary.GarbageCorpus(1) {
+		m, err := message.Unmarshal(b)
+		if err != nil {
+			continue
+		}
+		if _, err := message.Unmarshal(message.Marshal(m)); err != nil {
+			t.Fatalf("corpus[%d]: re-encoding of accepted message fails to decode: %v", i, err)
+		}
+	}
+}

@@ -878,11 +878,18 @@ func decodeStatus(d *Decoder) *Status {
 
 // Fetch asks for state-transfer data: the meta-data (child digests) or the
 // leaf data of partition (Level, Index) of the state partition tree, valid
-// at or after sequence number Seq.
+// at or after sequence number Seq. Level -1 instead asks for the request
+// bodies of the batch at sequence number Index.
 type Fetch struct {
-	Level   int32
-	Index   int64
-	Seq     int64 // requester's last stable checkpoint
+	Level int32
+	Index int64
+	Seq   int64 // requester's last stable checkpoint
+
+	// Missing, for Level -1, lists the batch entries whose bodies the
+	// requester lacks, so the response can inline exactly those instead of
+	// the whole batch. Empty means everything (a batch never seen at all).
+	Missing []int32
+
 	Replica int32
 	Auth    crypto.Authenticator
 }
@@ -905,6 +912,10 @@ func (f *Fetch) AuthContentInto(e *Encoder) []byte {
 	e.I32(f.Level)
 	e.I64(f.Index)
 	e.I64(f.Seq)
+	e.Count(len(f.Missing))
+	for _, i := range f.Missing {
+		e.I32(i)
+	}
 	e.I32(f.Replica)
 	return e.Bytes()
 }
@@ -913,18 +924,29 @@ func (f *Fetch) encodeBody(e *Encoder) {
 	e.I32(f.Level)
 	e.I64(f.Index)
 	e.I64(f.Seq)
+	e.Count(len(f.Missing))
+	for _, i := range f.Missing {
+		e.I32(i)
+	}
 	e.I32(f.Replica)
 	e.Auth(f.Auth)
 }
 
 func decodeFetch(d *Decoder) *Fetch {
-	return &Fetch{
-		Level:   d.I32(),
-		Index:   d.I64(),
-		Seq:     d.I64(),
-		Replica: d.I32(),
-		Auth:    d.Auth(),
+	f := &Fetch{
+		Level: d.I32(),
+		Index: d.I64(),
+		Seq:   d.I64(),
 	}
+	if n := d.Count(); n > 0 && d.err == nil {
+		f.Missing = make([]int32, n)
+		for i := range f.Missing {
+			f.Missing[i] = d.I32()
+		}
+	}
+	f.Replica = d.I32()
+	f.Auth = d.Auth()
+	return f
 }
 
 // Meta answers a Fetch for an interior partition: the digests of its
