@@ -9,12 +9,16 @@ all: build lint test
 build:
 	$(GO) build ./...
 
-# Lint gate: go vet, the repository's own determinism-contract analyzers
-# (cmd/bft-vet, see internal/analysis), and staticcheck when installed.
-# Runs clean over the whole module; violations are either fixed or
-# annotated //bftvet:allow <reason> at the offending line.
+# Lint gate: go vet, the repository's own determinism- and protocol-contract
+# analyzers (cmd/bft-vet, see internal/analysis and DESIGN.md), and
+# staticcheck when installed. Runs clean over the whole module; violations
+# are either fixed or annotated //bftvet:allow <reason> (optionally scoped:
+# //bftvet:allow:name) at the offending line. The -selftest run first proves
+# every analyzer still fires on its seeded-violation corpus, so a pass
+# cannot silently go blind.
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/bft-vet -selftest
 	$(GO) run ./cmd/bft-vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \

@@ -1,26 +1,41 @@
-// Command bft-vet applies the repository's determinism-contract analyzers
+// Command bft-vet applies the repository's contract analyzers
 // (internal/analysis) to Go packages, multichecker style:
 //
 //	bft-vet ./...                   # whole module (what make lint runs)
 //	bft-vet -checks detcheck ./...  # a subset of the suite
 //	bft-vet -list                   # describe the analyzers
+//	bft-vet -selftest               # prove each analyzer still fires on
+//	                                # its seeded-violation testdata
 //
 // Diagnostics print as file:line:col: message (analyzer); the exit status
 // is 1 when any diagnostic is reported, 2 on usage or load errors.
 // Individual findings are suppressed in source with
-// //bftvet:allow <reason> (see internal/analysis).
+// //bftvet:allow <reason>, or for specific passes with
+// //bftvet:allow:name,... <reason> (see internal/analysis).
+//
+// Alongside the per-file analyzers, a driver-level package-set check
+// keeps detcheck's EnginePackages/NonEnginePackages partition in sync
+// with reality: any internal package importing proc, core, or sim must
+// be classified in exactly one of the two sets, so a new engine package
+// cannot silently dodge the determinism contract.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"bftfast/internal/analysis"
+	"bftfast/internal/analysis/allocfree"
 	"bftfast/internal/analysis/bufretain"
 	"bftfast/internal/analysis/detcheck"
 	"bftfast/internal/analysis/envescape"
+	"bftfast/internal/analysis/hookgate"
+	"bftfast/internal/analysis/macflow"
+	"bftfast/internal/analysis/mapsend"
 	"bftfast/internal/analysis/timerkey"
 )
 
@@ -30,57 +45,149 @@ var suite = []*analysis.Analyzer{
 	bufretain.Analyzer,
 	envescape.Analyzer,
 	timerkey.Analyzer,
+	mapsend.Analyzer,
+	allocfree.Analyzer,
+	hookgate.Analyzer,
+	macflow.Analyzer,
 }
 
 func main() {
-	list := flag.Bool("list", false, "describe the analyzers and exit")
-	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bft-vet [-checks name,...] packages...\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, separated from main so tests can exercise
+// argument handling, output format, and exit codes in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bft-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	selftest := fs.Bool("selftest", false, "check every analyzer still fires on its seeded-violation testdata")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bft-vet [-checks name,...] [-selftest] packages...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
-	}
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		return 0
 	}
 
 	selected, err := selectAnalyzers(*checks)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bft-vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bft-vet: %v\n", err)
+		return 2
 	}
 
-	loader := analysis.NewLoader()
-	pkgs, err := loader.LoadPatterns(patterns...)
+	if *selftest {
+		return runSelftest(selected, stdout, stderr)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	listed, err := analysis.List(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bft-vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bft-vet: %v\n", err)
+		return 2
 	}
 
 	found := false
+	for _, problem := range detcheck.SyncProblems(listed, wholeModule(patterns)) {
+		found = true
+		fmt.Fprintf(stdout, "package-set: %s (detcheck)\n", problem)
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadListed(listed)
+	if err != nil {
+		fmt.Fprintf(stderr, "bft-vet: %v\n", err)
+		return 2
+	}
+
+	// One runner across every package: analyzers compose through
+	// exported facts, and LoadListed's dependency order guarantees a
+	// dependency's facts are in the store before its dependents run.
+	runner := analysis.NewRunner()
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAll(selected, pkg)
+		diags, err := runner.RunAll(selected, pkg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bft-vet: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "bft-vet: %v\n", err)
+			return 2
 		}
 		for _, d := range diags {
 			found = true
-			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
 		}
 	}
 	if found {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// runSelftest loads each analyzer's seeded-violation packages and fails
+// unless every analyzer reports at least one diagnostic there — the
+// guard against a pass silently going blind while the tree stays green.
+func runSelftest(selected []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "bft-vet: %v\n", err)
+		return 2
+	}
+	failed := false
+	for _, a := range selected {
+		if len(a.Seeds) == 0 {
+			failed = true
+			fmt.Fprintf(stdout, "selftest: %s: no seeded-violation testdata registered\n", a.Name)
+			continue
+		}
+		total := 0
+		for _, seed := range a.Seeds {
+			loader := analysis.NewLoader()
+			pkg, err := loader.LoadDir(filepath.Join(root, seed.Dir), seed.ImportPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "bft-vet: selftest %s: %v\n", a.Name, err)
+				return 2
+			}
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "bft-vet: selftest %s: %v\n", a.Name, err)
+				return 2
+			}
+			total += len(diags)
+		}
+		if total == 0 {
+			failed = true
+			fmt.Fprintf(stdout, "selftest: %s: reported no diagnostics on its seeded violations\n", a.Name)
+			continue
+		}
+		fmt.Fprintf(stdout, "selftest: %s: %d seeded diagnostics\n", a.Name, total)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// wholeModule reports whether the patterns cover the entire module,
+// which is what arms the stale-entry half of the package-set check
+// (a subset run cannot tell a deleted package from an unlisted one).
+func wholeModule(patterns []string) bool {
+	for _, p := range patterns {
+		if p == "./..." || p == "bftfast/..." {
+			return true
+		}
+	}
+	return false
 }
 
 // selectAnalyzers resolves the -checks flag against the suite.

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runVet drives the driver in-process and returns (exit, stdout, stderr).
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestGoldenDiagnosticFormat pins the diagnostic line format and the
+// findings exit code: file:line:col: message (analyzer), exit 1.
+func TestGoldenDiagnosticFormat(t *testing.T) {
+	code, stdout, stderr := runVet(t, "./testdata/src/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSuffix(strings.ReplaceAll(stdout, wd+string(os.PathSeparator), ""), "\n")
+	want := "testdata/src/dirty/dirty.go:18:2: obs.Recorder hook e.rec.Record called without a nil check on e.rec: hook fields are nil when observability is disabled (hookgate)"
+	if got != want {
+		t.Errorf("golden output mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestCleanPackageExitsZero checks a finding-free run is silent with
+// exit 0.
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runVet(t, "./testdata/src/clean")
+	if code != 0 || stdout != "" {
+		t.Errorf("exit = %d, stdout = %q, want 0 and empty; stderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestUsageErrorsExitTwo checks usage and load failures use exit code 2,
+// distinct from findings.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{},                                // no packages
+		{"-checks", "nosuch", "./..."},    // unknown analyzer
+		{"-badflag"},                      // unknown flag
+		{"./testdata/src/does-not-exist"}, // unloadable pattern
+	}
+	for _, args := range cases {
+		if code, _, _ := runVet(t, args...); code != 2 {
+			t.Errorf("run(%q) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestListDescribesAllEight checks -list names every analyzer in the
+// suite.
+func TestListDescribesAllEight(t *testing.T) {
+	code, stdout, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"detcheck", "bufretain", "envescape", "timerkey", "mapsend", "allocfree", "hookgate", "macflow"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+	if lines := strings.Count(strings.TrimSpace(stdout), "\n") + 1; lines != len(suite) {
+		t.Errorf("-list printed %d lines, want %d", lines, len(suite))
+	}
+}
+
+// TestSelftestFiresEveryAnalyzer checks -selftest exits 0 and confirms a
+// nonzero seeded diagnostic count for each of the eight analyzers — the
+// CI guard that a pass cannot silently go blind.
+func TestSelftestFiresEveryAnalyzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest loads every analyzer's seed corpus")
+	}
+	code, stdout, stderr := runVet(t, "-selftest")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+	for _, a := range suite {
+		want := fmt.Sprintf("selftest: %s: ", a.Name)
+		if !strings.Contains(stdout, want) {
+			t.Errorf("selftest output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "no diagnostics") || strings.Contains(stdout, "no seeded-violation") {
+		t.Errorf("selftest reported a blind analyzer:\n%s", stdout)
+	}
+}

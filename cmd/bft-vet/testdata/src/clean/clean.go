@@ -1,0 +1,19 @@
+// Package clean is the golden-output test's silent fixture: the same
+// shape as dirty but correctly gated, so the full suite reports nothing.
+package clean
+
+import (
+	"time"
+
+	"bftfast/internal/obs"
+)
+
+type engine struct {
+	rec *obs.Recorder
+}
+
+func (e *engine) step(now time.Duration) {
+	if e.rec != nil {
+		e.rec.Record(now, 0, 1, 0, 0)
+	}
+}

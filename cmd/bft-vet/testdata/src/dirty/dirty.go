@@ -1,0 +1,19 @@
+// Package dirty seeds one deterministic diagnostic for the bft-vet
+// golden-output test: an obs hook called through a struct field with no
+// nil gate (hookgate fires in every package, so the testdata import path
+// needs no engine impersonation).
+package dirty
+
+import (
+	"time"
+
+	"bftfast/internal/obs"
+)
+
+type engine struct {
+	rec *obs.Recorder
+}
+
+func (e *engine) step(now time.Duration) {
+	e.rec.Record(now, 0, 1, 0, 0)
+}

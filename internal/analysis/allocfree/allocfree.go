@@ -1,0 +1,444 @@
+// Package allocfree flags allocation-forcing constructs in functions
+// annotated //bftvet:allocfree. The annotation marks per-message hot
+// paths whose zero-allocation steady state the throughput plateau
+// depends on (hostbench gates them with testing.AllocsPerRun, but only
+// for the inputs the benchmark happens to exercise — the static pass
+// covers every lexical path).
+//
+// Inside an annotated function the analyzer reports:
+//
+//   - make, new, and map/slice composite literals (&T{} included)
+//   - function literals (closures escape or allocate their context)
+//   - bare append (growth reallocates; use the cap-guarded make idiom)
+//   - calls into fmt (formatting allocates and boxes its operands)
+//   - non-constant string concatenation
+//   - interface boxing: a concrete non-pointer value passed or converted
+//     to an interface type
+//
+// Two shapes the zero-alloc discipline itself relies on are exempt:
+//
+//   - error-return cold paths: constructs inside a return statement that
+//     returns a non-nil error (the function is aborting; the per-message
+//     steady state never takes the path), and arguments to panic
+//   - guarded growth: make/new/append/composite literals inside an if
+//     whose condition tests cap(), len(), or nilness — the reuse idiom
+//     (if cap(dst) < n { dst = make(...) }) allocates only until scratch
+//     capacity converges, and one-time cache fills (if st == nil { ... })
+//     are likewise amortized away
+//
+// The check is lexical: calls out of the annotated function are not
+// followed (annotate the callee too, or keep it allocation-free by
+// construction). Intentional exceptions take //bftvet:allow:allocfree.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bftfast/internal/analysis"
+)
+
+// Directive marks a function whose body must not allocate.
+const Directive = "//bftvet:allocfree"
+
+// Analyzer is the allocfree analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "flag allocation-forcing constructs in //bftvet:allocfree functions",
+	Run:  run,
+	Seeds: []analysis.Seed{
+		{Dir: "internal/analysis/allocfree/testdata/src/hot", ImportPath: "bftfast/internal/hot"},
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			c := &checker{pass: pass, fn: fd}
+			c.stmts(fd.Body.List, state{})
+		}
+	}
+	return nil
+}
+
+// annotated reports whether the function's doc comment carries the
+// allocfree directive on a line of its own.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// state is the exemption context a construct is seen under.
+type state struct {
+	cold    bool // inside an error return or panic argument
+	guarded bool // inside a cap/len/nil-guarded growth branch
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+func (c *checker) stmts(list []ast.Stmt, st state) {
+	for _, s := range list {
+		c.stmt(s, st)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, st state) {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		c.exprs(x.Results, state{cold: st.cold || c.returnsError(x), guarded: st.guarded})
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		c.expr(x.Cond, st)
+		body := st
+		if growthGuard(x.Cond) {
+			body.guarded = true
+		}
+		c.stmts(x.Body.List, body)
+		if x.Else != nil {
+			c.stmt(x.Else, st)
+		}
+	case *ast.BlockStmt:
+		c.stmts(x.List, st)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			c.expr(x.Cond, st)
+		}
+		if x.Post != nil {
+			c.stmt(x.Post, st)
+		}
+		c.stmts(x.Body.List, st)
+	case *ast.RangeStmt:
+		c.expr(x.X, st)
+		c.stmts(x.Body.List, st)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			c.expr(x.Tag, st)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.exprs(cc.List, st)
+				c.stmts(cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		c.stmt(x.Assign, st)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, st)
+				}
+				c.stmts(cc.Body, st)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(x.Stmt, st)
+	case *ast.AssignStmt:
+		// += on strings concatenates.
+		if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && c.isString(x.Lhs[0]) && !st.cold {
+			c.reportf(x.TokPos, "string concatenation allocates")
+		}
+		c.exprs(x.Lhs, st)
+		c.exprs(x.Rhs, st)
+	case *ast.ExprStmt:
+		c.expr(x.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(vs.Values, st)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.reportf(x.Pos(), "go statement allocates a goroutine")
+		c.expr(x.Call, st)
+	case *ast.DeferStmt:
+		// Open-coded defers are free; only the deferred expression is
+		// interesting (a closure argument is still a closure).
+		c.expr(x.Call, st)
+	case *ast.SendStmt:
+		c.expr(x.Chan, st)
+		c.expr(x.Value, st)
+	case *ast.IncDecStmt:
+		c.expr(x.X, st)
+	}
+}
+
+func (c *checker) exprs(list []ast.Expr, st state) {
+	for _, e := range list {
+		c.expr(e, st)
+	}
+}
+
+func (c *checker) expr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		if !st.cold {
+			c.reportf(x.Pos(), "function literal allocates (closures escape or carry context)")
+		}
+		// Do not descend: the literal itself is the finding.
+	case *ast.CallExpr:
+		c.call(x, st)
+	case *ast.CompositeLit:
+		c.composite(x, x.Pos(), st)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if cl, ok := analysis.Unparen(x.X).(*ast.CompositeLit); ok {
+				if !st.cold && !st.guarded {
+					c.reportf(x.Pos(), "&composite literal allocates")
+				}
+				c.exprs(cl.Elts, st)
+				return
+			}
+		}
+		c.expr(x.X, st)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && c.isString(x) && !c.isConst(x) && !st.cold {
+			c.reportf(x.OpPos, "string concatenation allocates")
+		}
+		c.expr(x.X, st)
+		c.expr(x.Y, st)
+	case *ast.ParenExpr:
+		c.expr(x.X, st)
+	case *ast.StarExpr:
+		c.expr(x.X, st)
+	case *ast.SelectorExpr:
+		c.expr(x.X, st)
+	case *ast.IndexExpr:
+		c.expr(x.X, st)
+		c.expr(x.Index, st)
+	case *ast.SliceExpr:
+		c.expr(x.X, st)
+		c.expr(x.Low, st)
+		c.expr(x.High, st)
+		c.expr(x.Max, st)
+	case *ast.TypeAssertExpr:
+		c.expr(x.X, st)
+	case *ast.KeyValueExpr:
+		c.expr(x.Key, st)
+		c.expr(x.Value, st)
+	}
+}
+
+func (c *checker) composite(cl *ast.CompositeLit, pos token.Pos, st state) {
+	t := c.pass.TypesInfo.TypeOf(cl)
+	if t != nil && !st.cold && !st.guarded {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			c.reportf(pos, "map literal allocates")
+		case *types.Slice:
+			c.reportf(pos, "slice literal allocates")
+		}
+	}
+	c.exprs(cl.Elts, st)
+}
+
+func (c *checker) call(call *ast.CallExpr, st state) {
+	fun := analysis.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if !st.cold && !st.guarded {
+				c.reportf(call.Pos(), "make allocates")
+			}
+			c.exprs(call.Args[1:], st)
+			return
+		case "new":
+			if !st.cold && !st.guarded {
+				c.reportf(call.Pos(), "new allocates")
+			}
+			return
+		case "append":
+			if !st.cold && !st.guarded {
+				c.reportf(call.Pos(), "append may grow its backing array (use the cap-guarded make idiom)")
+			}
+			c.exprs(call.Args, st)
+			return
+		case "panic":
+			c.exprs(call.Args, state{cold: true})
+			return
+		}
+	}
+
+	// Conversions, including to interface types (boxing).
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && c.boxes(call.Args[0]) && !st.cold {
+			c.reportf(call.Pos(), "conversion to %s boxes a value on the heap", tv.Type.String())
+		}
+		c.exprs(call.Args, st)
+		return
+	}
+
+	// fmt calls allocate wholesale; one finding covers the boxing too.
+	if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if !st.cold {
+			c.reportf(call.Pos(), "fmt.%s allocates and boxes its operands", fn.Name())
+		}
+		c.exprs(call.Args, st)
+		return
+	}
+
+	// Interface-typed parameters box concrete non-pointer arguments.
+	if sig := c.signature(call); sig != nil && !st.cold {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // a spread slice is passed as-is
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if pt != nil && types.IsInterface(pt) && c.boxes(arg) {
+				c.reportf(arg.Pos(), "argument boxes a value into %s", pt.String())
+			}
+		}
+	}
+
+	c.expr(call.Fun, st)
+	c.exprs(call.Args, st)
+}
+
+// boxes reports whether passing e as an interface forces a heap box: a
+// concrete non-pointer, non-interface, non-nil, non-constant value.
+// (Pointers, channels, maps, and funcs fit the interface word directly;
+// constants may be folded into read-only data.)
+func (c *checker) boxes(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[analysis.Unparen(e)]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// signature resolves the called function's type, if statically known.
+func (c *checker) signature(call *ast.CallExpr) *types.Signature {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether ret returns a non-nil value for a
+// trailing error result — the cold-path signature.
+func (c *checker) returnsError(ret *ast.ReturnStmt) bool {
+	results := c.fn.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	t := c.pass.TypesInfo.TypeOf(last)
+	if t == nil || !isErrorType(t) {
+		return false
+	}
+	if id, ok := analysis.Unparen(last).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// growthGuard reports whether cond is the reuse idiom's test: it
+// mentions cap() or len(), or compares something against nil.
+func growthGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := analysis.Unparen(x.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		case *ast.Ident:
+			if x.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	name := c.fn.Name.Name
+	if c.fn.Recv != nil && len(c.fn.Recv.List) > 0 {
+		if n := recvTypeName(c.fn.Recv.List[0].Type); n != "" {
+			name = n + "." + name
+		}
+	}
+	c.pass.Reportf(pos, format+" in allocfree function "+name, args...)
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return recvTypeName(x.X)
+	}
+	return ""
+}

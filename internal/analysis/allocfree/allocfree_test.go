@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"bftfast/internal/analysis/allocfree"
+	"bftfast/internal/analysis/analysistest"
+)
+
+// TestHot checks every allocation-forcing construct is reported inside
+// annotated functions, while error-return cold paths, guarded growth,
+// unannotated functions, and the scoped allow stay silent.
+func TestHot(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "hot", "bftfast/internal/hot")
+}

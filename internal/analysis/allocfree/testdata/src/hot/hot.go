@@ -1,0 +1,90 @@
+// Package hot seeds allocation-forcing constructs in annotated
+// functions for the allocfree analyzer, alongside the exempt shapes the
+// real zero-alloc hot paths rely on.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type sink interface{ accept(interface{}) }
+
+type ring struct {
+	buf   []byte
+	cache map[int]*ring
+	hook  func()
+	out   sink
+}
+
+var errShort = errors.New("short")
+
+// step is the canonical offender set.
+//
+//bftvet:allocfree
+func (r *ring) step(n int, name string) error {
+	b := make([]byte, n) // want `make allocates in allocfree function ring\.step`
+	_ = b
+	r.hook = func() { n++ }  // want `function literal allocates`
+	fmt.Println(n)           // want `fmt\.Println allocates and boxes its operands`
+	r.buf = append(r.buf, 1) // want `append may grow its backing array`
+	label := "ring-" + name  // want `string concatenation allocates`
+	_ = label
+	r.out.accept(n) // want `argument boxes a value into interface\{\}`
+	return nil
+}
+
+// literals allocate through composite syntax too.
+//
+//bftvet:allocfree
+func literals() {
+	m := map[int]int{}  // want `map literal allocates`
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	p := &ring{}        // want `&composite literal allocates`
+	_, _, _ = m, s, p
+}
+
+// coldPath exercises the error-return exemption: aborting is allowed to
+// allocate.
+//
+//bftvet:allocfree
+func coldPath(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("%w: empty frame", errShort)
+	}
+	if data[0] == 0xff {
+		panic(fmt.Sprintf("poisoned frame %x", data[0]))
+	}
+	return nil
+}
+
+// guardedGrowth exercises the reuse idiom's exemption: allocation behind
+// a cap/nil test amortizes to zero.
+//
+//bftvet:allocfree
+func guardedGrowth(r *ring, dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	if r.cache == nil {
+		r.cache = map[int]*ring{}
+	}
+	return dst
+}
+
+// unannotated is identical to step but carries no directive: silent.
+func unannotated(r *ring, n int) {
+	b := make([]byte, n)
+	_ = b
+	fmt.Println(n)
+}
+
+// exempted documents a deliberate allocation inside an annotated body.
+//
+//bftvet:allocfree
+func exempted(n int) []byte {
+	//bftvet:allow:allocfree one-time session buffer, measured off the steady state
+	return make([]byte, n)
+}

@@ -8,44 +8,97 @@ import (
 
 // allowPrefix is the suppression directive. Like standard Go directives
 // (//go:..., //nolint), it must be a // comment with no space before the
-// marker.
+// marker. Two forms exist:
+//
+//	//bftvet:allow <reason>             suppresses every analyzer
+//	//bftvet:allow:name[,name] <reason> suppresses only the named passes
+//
+// The scoped form is preferred once more than one analyzer can fire on a
+// line: silencing one pass must not hide what another pass still has to
+// say about the same statement.
 const allowPrefix = "//bftvet:allow"
 
-// allowLines collects, per file, the set of line numbers covered by a
-// well-formed //bftvet:allow directive: the directive's own line and the
-// line directly below it (so the directive can sit above the offending
+// allowScope is the set of analyzer names one directive covers; nil means
+// every analyzer (the unscoped form).
+type allowScope map[string]bool
+
+// covers reports whether the scope suppresses the named analyzer.
+func (s allowScope) covers(analyzer string) bool {
+	return s == nil || s[analyzer]
+}
+
+// allowSites maps file -> line -> the scopes of the directives covering
+// that line. A line can be covered by several directives (one above, one
+// trailing); each contributes its own scope.
+type allowSites map[string]map[int][]allowScope
+
+// allowLines collects, per file, the lines covered by well-formed
+// //bftvet:allow directives: the directive's own line and the line
+// directly below it (so the directive can sit above the offending
 // statement or trail it on the same line). It also returns the positions
-// of malformed directives that carry no reason.
-func allowLines(fset *token.FileSet, files []*ast.File) (allowed map[string]map[int]bool, malformed []token.Pos) {
-	allowed = make(map[string]map[int]bool)
+// of malformed directives — no reason, or an unparsable scope list.
+func allowLines(fset *token.FileSet, files []*ast.File) (allowed allowSites, malformed []token.Pos) {
+	allowed = make(allowSites)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, allowPrefix) {
 					continue
 				}
-				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
-				if reason == "" {
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				scope, reason, ok := splitDirective(rest)
+				if !ok || reason == "" {
 					malformed = append(malformed, c.Pos())
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				lines := allowed[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]bool)
+					lines = make(map[int][]allowScope)
 					allowed[pos.Filename] = lines
 				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
+				lines[pos.Line] = append(lines[pos.Line], scope)
+				lines[pos.Line+1] = append(lines[pos.Line+1], scope)
 			}
 		}
 	}
 	return allowed, malformed
 }
 
-// suppressed reports whether a diagnostic at pos falls on a line covered
-// by an allow directive.
-func suppressed(fset *token.FileSet, pos token.Pos, allowed map[string]map[int]bool) bool {
+// splitDirective parses the text after //bftvet:allow: an optional
+// ":name[,name]" scope list followed by the mandatory reason. ok is false
+// when the directive is malformed (":"-scope with an empty name, or text
+// fused to the marker without a scope separator).
+func splitDirective(rest string) (scope allowScope, reason string, ok bool) {
+	if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+		return nil, strings.TrimSpace(rest), true
+	}
+	if rest[0] != ':' {
+		return nil, "", false // e.g. //bftvet:allowx
+	}
+	names := rest[1:]
+	if i := strings.IndexAny(names, " \t"); i >= 0 {
+		reason = strings.TrimSpace(names[i:])
+		names = names[:i]
+	}
+	scope = make(allowScope)
+	for _, n := range strings.Split(names, ",") {
+		if n == "" {
+			return nil, "", false
+		}
+		scope[n] = true
+	}
+	return scope, reason, true
+}
+
+// suppressed reports whether a diagnostic at pos from the named analyzer
+// falls on a line covered by a directive whose scope includes it.
+func suppressed(fset *token.FileSet, pos token.Pos, analyzer string, allowed allowSites) bool {
 	p := fset.Position(pos)
-	return allowed[p.Filename][p.Line]
+	for _, scope := range allowed[p.Filename][p.Line] {
+		if scope.covers(analyzer) {
+			return true
+		}
+	}
+	return false
 }

@@ -41,6 +41,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "bufretain",
 	Doc:  "flag mutation or retention of a []byte after passing it to Env.Send/Multicast or Network.Send",
 	Run:  run,
+	Seeds: []analysis.Seed{
+		{Dir: "internal/analysis/bufretain/testdata/src/retain", ImportPath: "bftfast/internal/retaintest"},
+	},
 }
 
 func run(pass *analysis.Pass) error {

@@ -17,8 +17,10 @@
 package detcheck
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -37,6 +39,79 @@ var EnginePackages = map[string]bool{
 	"bftfast/internal/kvservice":     true,
 	"bftfast/internal/obs":           true,
 	"bftfast/internal/simpleservice": true,
+}
+
+// NonEnginePackages are internal packages that import the engine surface
+// (proc, core, sim) but deliberately live outside the determinism
+// contract, with the reason each one is exempt. Every internal package
+// importing proc/core/sim must appear in exactly one of the two sets —
+// SyncProblems enforces the partition, so adding an engine-adjacent
+// package forces an explicit classification here or in EnginePackages.
+var NonEnginePackages = map[string]string{
+	"bftfast/internal/adversary/campaign": "audit harness; orchestrates whole simulations from outside the handler loop",
+	"bftfast/internal/bench":              "benchmark driver; constructs engines but itself runs on the host clock",
+	"bftfast/internal/hostbench":          "host-runtime allocation and latency measurement, wall-clock by nature",
+	"bftfast/internal/sim":                "the deterministic environment itself, not code running inside it",
+	"bftfast/internal/transport":          "the wall-clock side of the proc.Env boundary",
+	"bftfast/internal/workload":           "load-generation harness driving clients from outside",
+}
+
+// engineSurface are the imports that make a package engine-adjacent.
+var engineSurface = map[string]bool{
+	"bftfast/internal/proc": true,
+	"bftfast/internal/core": true,
+	"bftfast/internal/sim":  true,
+}
+
+// SyncProblems cross-checks the EnginePackages/NonEnginePackages
+// partition against go-list metadata: every internal package importing
+// the engine surface must be classified in exactly one set, and — when
+// wholeModule says the listing covered the entire module — every
+// classified package must still exist. The returned strings are
+// driver-level findings with no source position, so bft-vet reports
+// them itself.
+func SyncProblems(listed []analysis.ListedPackage, wholeModule bool) []string {
+	var problems []string
+	for path := range EnginePackages {
+		if _, both := NonEnginePackages[path]; both {
+			problems = append(problems, fmt.Sprintf("package %s is in both EnginePackages and NonEnginePackages", path))
+		}
+	}
+	present := make(map[string]bool, len(listed))
+	for _, lp := range listed {
+		present[lp.ImportPath] = true
+		if !strings.HasPrefix(lp.ImportPath, "bftfast/internal/") ||
+			strings.HasPrefix(lp.ImportPath, "bftfast/internal/analysis") {
+			continue
+		}
+		adjacent := false
+		for _, imp := range lp.Imports {
+			if engineSurface[imp] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			continue
+		}
+		if _, nonEngine := NonEnginePackages[lp.ImportPath]; !EnginePackages[lp.ImportPath] && !nonEngine {
+			problems = append(problems, fmt.Sprintf("package %s imports the engine surface but is in neither detcheck.EnginePackages nor detcheck.NonEnginePackages; classify it", lp.ImportPath))
+		}
+	}
+	if wholeModule {
+		for path := range EnginePackages {
+			if !present[path] {
+				problems = append(problems, fmt.Sprintf("detcheck.EnginePackages lists %s, which no longer exists in the module", path))
+			}
+		}
+		for path := range NonEnginePackages {
+			if !present[path] {
+				problems = append(problems, fmt.Sprintf("detcheck.NonEnginePackages lists %s, which no longer exists in the module", path))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
 }
 
 // forbiddenTimeFuncs are package time functions that read or act on the
@@ -65,6 +140,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "detcheck",
 	Doc:  "forbid wall-clock time, global randomness, goroutines and locking in engine packages",
 	Run:  run,
+	Seeds: []analysis.Seed{
+		{Dir: "internal/analysis/detcheck/testdata/src/engine", ImportPath: "bftfast/internal/core"},
+	},
 }
 
 func run(pass *analysis.Pass) error {

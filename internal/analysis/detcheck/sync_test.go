@@ -1,0 +1,87 @@
+package detcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"bftfast/internal/analysis"
+	"bftfast/internal/analysis/detcheck"
+)
+
+// listedWith builds go-list metadata covering every classified package
+// plus extras, each with the given imports.
+func listedWith(extra ...analysis.ListedPackage) []analysis.ListedPackage {
+	var listed []analysis.ListedPackage
+	for path := range detcheck.EnginePackages {
+		listed = append(listed, analysis.ListedPackage{ImportPath: path})
+	}
+	for path := range detcheck.NonEnginePackages {
+		listed = append(listed, analysis.ListedPackage{ImportPath: path})
+	}
+	return append(listed, extra...)
+}
+
+// TestSyncCleanPartition checks a consistent listing produces no
+// problems.
+func TestSyncCleanPartition(t *testing.T) {
+	if problems := detcheck.SyncProblems(listedWith(), true); len(problems) != 0 {
+		t.Errorf("clean partition reported problems: %v", problems)
+	}
+}
+
+// TestSyncUnclassifiedEngineAdjacent checks a new internal package that
+// imports the engine surface without a classification is reported.
+func TestSyncUnclassifiedEngineAdjacent(t *testing.T) {
+	listed := listedWith(analysis.ListedPackage{
+		ImportPath: "bftfast/internal/newengine",
+		Imports:    []string{"bftfast/internal/proc"},
+	})
+	problems := detcheck.SyncProblems(listed, true)
+	if len(problems) != 1 || !strings.Contains(problems[0], "bftfast/internal/newengine") {
+		t.Errorf("unclassified engine-adjacent package not reported: %v", problems)
+	}
+}
+
+// TestSyncIgnoresNonAdjacent checks internal packages that stay off the
+// engine surface need no classification, and the analysis subtree is
+// always exempt.
+func TestSyncIgnoresNonAdjacent(t *testing.T) {
+	listed := listedWith(
+		analysis.ListedPackage{ImportPath: "bftfast/internal/plotutil", Imports: []string{"fmt"}},
+		analysis.ListedPackage{ImportPath: "bftfast/internal/analysis/newpass", Imports: []string{"bftfast/internal/proc"}},
+	)
+	if problems := detcheck.SyncProblems(listed, true); len(problems) != 0 {
+		t.Errorf("non-adjacent packages reported: %v", problems)
+	}
+}
+
+// TestSyncStaleEntry checks a classified package missing from a
+// whole-module listing is reported — but tolerated on subset runs,
+// where absence is expected.
+func TestSyncStaleEntry(t *testing.T) {
+	var listed []analysis.ListedPackage
+	for _, lp := range listedWith() {
+		if lp.ImportPath != "bftfast/internal/norep" {
+			listed = append(listed, lp)
+		}
+	}
+	problems := detcheck.SyncProblems(listed, true)
+	if len(problems) != 1 || !strings.Contains(problems[0], "bftfast/internal/norep") {
+		t.Errorf("stale entry not reported on whole-module run: %v", problems)
+	}
+	if problems := detcheck.SyncProblems(listed, false); len(problems) != 0 {
+		t.Errorf("subset run reported stale entries: %v", problems)
+	}
+}
+
+// TestSyncRealModule runs the check against the real module listing: the
+// committed partition must match reality.
+func TestSyncRealModule(t *testing.T) {
+	listed, err := analysis.List("bftfast/...")
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	if problems := detcheck.SyncProblems(listed, true); len(problems) != 0 {
+		t.Errorf("real module listing reported problems: %v", problems)
+	}
+}

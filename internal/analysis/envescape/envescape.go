@@ -30,6 +30,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "envescape",
 	Doc:  "flag proc.Env values escaping into foreign structs, globals, or cross-boundary closures",
 	Run:  run,
+	Seeds: []analysis.Seed{
+		{Dir: "internal/analysis/envescape/testdata/src/escape", ImportPath: "bftfast/internal/escapetest"},
+	},
 }
 
 func run(pass *analysis.Pass) error {

@@ -15,3 +15,9 @@ type Holder struct {
 
 // Callback accepts a closure across the package boundary.
 func Callback(fn func()) { fn() }
+
+// Relay forwards data to dst through env: a function that transitively
+// sends, declared on the far side of a package boundary. The mapsend
+// fact-composition tests call it from a map walk in another package and
+// expect the exported "sends" fact to carry the summary across.
+func Relay(env proc.Env, dst int, data []byte) { env.Send(dst, data) }

@@ -1,0 +1,15 @@
+package hookgate_test
+
+import (
+	"testing"
+
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/hookgate"
+)
+
+// TestHooks checks ungated hook-field calls (direct, looped, wrongly
+// gated, closure-escaped, nested chains) are reported while the
+// contract's gating shapes and the scoped allow stay silent.
+func TestHooks(t *testing.T) {
+	analysistest.Run(t, hookgate.Analyzer, "hooks", "bftfast/internal/hooks")
+}

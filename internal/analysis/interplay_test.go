@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"bftfast/internal/analysis"
+	"bftfast/internal/analysis/allocfree"
+	"bftfast/internal/analysis/detcheck"
+)
+
+// TestScopedAllowInterplay runs two analyzers over lines that violate
+// both and checks the allow directives scope correctly: a scoped allow
+// suppresses only the named pass, an unscoped allow suppresses every
+// pass, and the bare control line reports under both.
+func TestScopedAllowInterplay(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/interplay", "bftfast/internal/core")
+	if err != nil {
+		t.Fatalf("loading interplay: %v", err)
+	}
+	diags, err := analysis.RunAll([]*analysis.Analyzer{detcheck.Analyzer, allocfree.Analyzer}, pkg)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	perLine := map[int][]string{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		perLine[pos.Line] = append(perLine[pos.Line], d.Analyzer)
+	}
+	lineOf := func(marker string) int {
+		line := findLine(t, "testdata/src/interplay/interplay.go", marker)
+		return line
+	}
+
+	scoped := lineOf("//bftvet:allow:detcheck") + 1
+	unscoped := lineOf("//bftvet:allow exercising") + 1
+	bare := lineOf("func bothBare") + 1
+
+	if got := perLine[scoped]; !has(got, "allocfree") || has(got, "detcheck") {
+		t.Errorf("scoped allow line %d: got analyzers %v, want allocfree only", scoped, got)
+	}
+	if got := perLine[unscoped]; len(got) != 0 {
+		t.Errorf("unscoped allow line %d: got analyzers %v, want none", unscoped, got)
+	}
+	if got := perLine[bare]; !has(got, "allocfree") || !has(got, "detcheck") {
+		t.Errorf("bare line %d: got analyzers %v, want both detcheck and allocfree", bare, got)
+	}
+}
+
+func has(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// findLine returns the 1-based line number of the first line containing
+// marker.
+func findLine(t *testing.T, path, marker string) int {
+	t.Helper()
+	data := readFile(t, path)
+	for i, line := range strings.Split(data, "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not found in %s", marker, path)
+	return 0
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return string(data)
+}

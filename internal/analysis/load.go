@@ -40,16 +40,18 @@ func NewLoader() *Loader {
 	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
 }
 
-// listedPackage is the subset of `go list -json` output the loader needs.
-type listedPackage struct {
+// ListedPackage is the subset of `go list -json` output the loader (and
+// the bft-vet driver's package-set check) needs.
+type ListedPackage struct {
 	Dir        string
 	ImportPath string
 	GoFiles    []string
+	Imports    []string
 }
 
 // List resolves go-list package patterns (./..., specific import paths)
 // to directories and file lists without building anything.
-func List(patterns ...string) ([]listedPackage, error) {
+func List(patterns ...string) ([]ListedPackage, error) {
 	args := append([]string{"list", "-json"}, patterns...)
 	out, err := exec.Command("go", args...).Output()
 	if err != nil {
@@ -58,10 +60,10 @@ func List(patterns ...string) ([]listedPackage, error) {
 		}
 		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
 	}
-	var pkgs []listedPackage
+	var pkgs []ListedPackage
 	dec := json.NewDecoder(strings.NewReader(string(out)))
 	for dec.More() {
-		var p listedPackage
+		var p ListedPackage
 		if err := dec.Decode(&p); err != nil {
 			return nil, fmt.Errorf("decoding go list output: %w", err)
 		}
@@ -70,14 +72,26 @@ func List(patterns ...string) ([]listedPackage, error) {
 	return pkgs, nil
 }
 
-// LoadPatterns loads every package matching the go-list patterns. Test
-// files are excluded: the determinism contract binds engine code, while
-// tests drive engines from goroutines and wall clocks by design.
+// LoadPatterns loads every package matching the go-list patterns, in
+// dependency order (a package's in-pattern imports precede it), so that
+// analyzers composing through object facts see a dependency's facts
+// before its dependents. Test files are excluded: the determinism
+// contract binds engine code, while tests drive engines from goroutines
+// and wall clocks by design.
 func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 	listed, err := List(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	return l.LoadListed(listed)
+}
+
+// LoadListed loads the given already-listed packages in dependency
+// order. It lets a caller that needs the go-list metadata itself (the
+// bft-vet driver's package-set check) list once and load from the same
+// result.
+func (l *Loader) LoadListed(listed []ListedPackage) ([]*Package, error) {
+	listed = sortByDeps(listed)
 	pkgs := make([]*Package, 0, len(listed))
 	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
@@ -94,6 +108,49 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// ModuleRoot returns the directory of the main module, the base against
+// which Analyzer.Seeds directories resolve.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return "", fmt.Errorf("go list -m: %v: %s", err, ee.Stderr)
+		}
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// sortByDeps orders packages so that every package follows the packages
+// it imports (restricted to the listed set). Ties keep go list's
+// lexical order for stable output.
+func sortByDeps(listed []ListedPackage) []ListedPackage {
+	index := make(map[string]int, len(listed))
+	for i, lp := range listed {
+		index[lp.ImportPath] = i
+	}
+	state := make([]int, len(listed)) // 0 unvisited, 1 visiting, 2 done
+	out := make([]ListedPackage, 0, len(listed))
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return // done, or a cycle (go/build rejects those anyway)
+		}
+		state[i] = 1
+		for _, imp := range listed[i].Imports {
+			if j, ok := index[imp]; ok {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		out = append(out, listed[i])
+	}
+	for i := range listed {
+		visit(i)
+	}
+	return out
 }
 
 // LoadDir loads the single package in dir under the given import path,

@@ -1,0 +1,33 @@
+package macflow_test
+
+import (
+	"testing"
+
+	"bftfast/internal/analysis"
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/macflow"
+)
+
+// TestFlow checks unverified stores are reported (directly and one call
+// deep), while the verify-then-mutate shape, digest comparisons, the
+// handler handoff, and the scoped allow stay silent.
+func TestFlow(t *testing.T) {
+	analysistest.Run(t, macflow.Analyzer, "flow", "bftfast/internal/core")
+}
+
+// TestNonEnginePackage checks packages outside the engine set only
+// contribute verifies facts, never diagnostics.
+func TestNonEnginePackage(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/flow", "bftfast/internal/notengine")
+	if err != nil {
+		t.Fatalf("loading flow: %v", err)
+	}
+	diags, err := analysis.Run(macflow.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("running macflow: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("non-engine package reported %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

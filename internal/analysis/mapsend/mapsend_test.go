@@ -1,0 +1,76 @@
+package mapsend_test
+
+import (
+	"strings"
+	"testing"
+
+	"bftfast/internal/analysis"
+	"bftfast/internal/analysis/analysistest"
+	"bftfast/internal/analysis/mapsend"
+)
+
+// TestSendy checks direct, helper-mediated, and encode-shaped map-order
+// sends are reported, while the collect-sort-iterate discipline, pure
+// aggregation walks, and the scoped //bftvet:allow:mapsend exemption stay
+// silent.
+func TestSendy(t *testing.T) {
+	analysistest.Run(t, mapsend.Analyzer, "sendy", "bftfast/internal/core")
+}
+
+// TestNonEnginePackage checks the same constructs go unreported outside
+// the engine-package set (non-engine packages only contribute facts).
+func TestNonEnginePackage(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/sendy", "bftfast/internal/notengine")
+	if err != nil {
+		t.Fatalf("loading sendy: %v", err)
+	}
+	diags, err := analysis.Run(mapsend.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("running mapsend: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("non-engine package reported %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestCrossPackageFacts checks the "sends" summary composes across a
+// package boundary: fixture.Relay is summarized when its (real) package
+// is analyzed, and a later engine package calling it from a map walk is
+// flagged through the exported fact.
+func TestCrossPackageFacts(t *testing.T) {
+	loader := analysis.NewLoader()
+	runner := analysis.NewRunner()
+
+	dep, err := loader.LoadDir("../fixture", "bftfast/internal/analysis/fixture")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if diags, err := runner.Run(mapsend.Analyzer, dep); err != nil {
+		t.Fatalf("running mapsend over fixture: %v", err)
+	} else if len(diags) != 0 {
+		t.Fatalf("fixture reported %d diagnostics, want 0: %v", len(diags), diags)
+	}
+
+	pkg, err := loader.LoadDir("testdata/src/xpkg", "bftfast/internal/core")
+	if err != nil {
+		t.Fatalf("loading xpkg: %v", err)
+	}
+	diags, err := runner.Run(mapsend.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("running mapsend over xpkg: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "call to Relay") {
+		t.Fatalf("cross-package fact did not fire: got %v", diags)
+	}
+
+	// Without the dependency's facts the same package stays silent —
+	// demonstrating the diagnostic above really came through the fact.
+	fresh, err := analysis.Run(mapsend.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("running mapsend without facts: %v", err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("expected no diagnostics without dependency facts, got %v", fresh)
+	}
+}

@@ -1,0 +1,20 @@
+// Package xpkg seeds a cross-package map-order send: the send happens
+// inside fixture.Relay, declared in another package, and only the
+// exported "sends" fact can tell the map walk here reaches it.
+package xpkg
+
+import (
+	"bftfast/internal/analysis/fixture"
+	"bftfast/internal/proc"
+)
+
+type engine struct {
+	env  proc.Env
+	work map[int][]byte
+}
+
+func (e *engine) drain() {
+	for dst, buf := range e.work {
+		fixture.Relay(e.env, dst, buf) // want `call to Relay inside iteration over a map reaches a send`
+	}
+}

@@ -1,0 +1,35 @@
+// Package interplay seeds lines that violate two analyzers at once, for
+// the allow-scoping tests: a scoped //bftvet:allow:name must suppress
+// only the named pass, and an unscoped //bftvet:allow must suppress
+// every pass. Loaded under an engine import path.
+package interplay
+
+type box struct {
+	hook func()
+}
+
+// bothScoped violates detcheck (go statement in an engine package) and
+// allocfree (goroutine + closure) on one line; the scoped allow names
+// only detcheck, so allocfree must still fire.
+//
+//bftvet:allocfree
+func bothScoped(b *box) {
+	//bftvet:allow:detcheck exercising scoped-allow interplay
+	go func() { b.hook() }()
+}
+
+// bothUnscoped is the same double violation under an unscoped allow:
+// every analyzer is suppressed.
+//
+//bftvet:allocfree
+func bothUnscoped(b *box) {
+	//bftvet:allow exercising unscoped-allow interplay
+	go func() { b.hook() }()
+}
+
+// bothBare is the control: no directive, both analyzers fire.
+//
+//bftvet:allocfree
+func bothBare(b *box) {
+	go func() { b.hook() }()
+}

@@ -23,6 +23,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "timerkey",
 	Doc:  "require compile-time constant keys in Env.SetTimer/CancelTimer calls",
 	Run:  run,
+	Seeds: []analysis.Seed{
+		{Dir: "internal/analysis/timerkey/testdata/src/timers", ImportPath: "bftfast/internal/timertest"},
+	},
 }
 
 func run(pass *analysis.Pass) error {

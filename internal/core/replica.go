@@ -121,6 +121,8 @@ type Replica struct {
 // trace records one protocol event stamped with the engine's current time.
 // With tracing disabled (nil recorder) the hook is a single branch; enabled,
 // it writes one slot of a preallocated ring — zero allocations either way.
+//
+//bftvet:allocfree
 func (r *Replica) trace(kind obs.Kind, seq, aux, aux2 int64) {
 	if r.rec != nil {
 		r.rec.Record(r.env.Now(), kind, seq, aux, aux2)

@@ -398,11 +398,7 @@ func (r *Replica) onStatus(s *message.Status) {
 			r.env.Send(sender, rec.raw)
 		}
 		if sender == r.cfg.PrimaryOf(r.view) {
-			for origin, rec := range r.vcs[r.view] {
-				if int(origin) != r.cfg.Self {
-					r.sendViewChangeAck(origin, rec.digest)
-				}
-			}
+			r.ackStoredViewChanges(r.view)
 		}
 		return
 	}

@@ -81,13 +81,26 @@ func (r *Replica) startViewChange(newView int64) {
 
 	// Ack the view-changes already stored for this view, and try to form
 	// the new view if we are its primary.
-	for origin, rec := range r.vcs[newView] {
-		if int(origin) != r.cfg.Self {
-			r.sendViewChangeAck(origin, rec.digest)
-		}
-	}
+	r.ackStoredViewChanges(newView)
 	if r.cfg.PrimaryOf(newView) == r.cfg.Self {
 		r.tryNewView()
+	}
+}
+
+// ackStoredViewChanges acks every view-change stored for view except our
+// own, in replica order: the ack schedule is part of the observable
+// protocol trace, so map iteration order must not leak into it.
+func (r *Replica) ackStoredViewChanges(view int64) {
+	recs := r.vcs[view]
+	origins := make([]int32, 0, len(recs))
+	for origin := range recs {
+		if int(origin) != r.cfg.Self {
+			origins = append(origins, origin)
+		}
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		r.sendViewChangeAck(origin, recs[origin].digest)
 	}
 }
 

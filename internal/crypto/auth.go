@@ -23,6 +23,8 @@ func AuthenticatorFor(t *KeyTable, n int, content ...[]byte) Authenticator {
 // when sufficient, so a caller cycling one scratch slice performs no
 // allocation. The filled authenticator is returned (it aliases dst when dst
 // was large enough). The caller owns the result; it is safe to retain.
+//
+//bftvet:allocfree
 func AuthenticatorInto(t *KeyTable, dst Authenticator, n int, content ...[]byte) Authenticator {
 	if cap(dst) < n {
 		dst = make(Authenticator, n)
@@ -48,6 +50,8 @@ func AuthenticatorInto(t *KeyTable, dst Authenticator, n int, content ...[]byte)
 // VerifyEntry checks the receiver's own entry of an authenticator produced
 // by sender. It returns false if the authenticator is too short, no inbound
 // key is known for the sender, or the MAC does not verify.
+//
+//bftvet:allocfree
 func VerifyEntry(t *KeyTable, sender int, a Authenticator, content ...[]byte) bool {
 	if t.self >= len(a) || sender == t.self {
 		return false

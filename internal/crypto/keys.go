@@ -54,6 +54,8 @@ func NewKeyTable(self int) *KeyTable {
 
 // stateFor returns the cached HMAC state for key k of peer in cache,
 // creating it on first use. The caller must hold t.mu for writing.
+//
+//bftvet:allocfree
 func stateFor(cache map[int]*macState, peer int, k Key) *macState {
 	st := cache[peer]
 	if st == nil {

@@ -58,6 +58,8 @@ func newMACState(k Key) *macState {
 
 // compute MACs the concatenated pieces. The state is mutated, so callers
 // must serialize access (KeyTable holds its lock across the call).
+//
+//bftvet:allocfree
 func (st *macState) compute(pieces [][]byte) MAC {
 	st.h.Reset()
 	for _, p := range pieces {

@@ -11,6 +11,8 @@ import "fmt"
 // EncodeTo resets e and encodes m with its one-byte type tag. The result
 // aliases e's buffer: it is valid until e is reused and must not be passed
 // to Env.Send (use MarshalWith for wire buffers).
+//
+//bftvet:allocfree
 func EncodeTo(e *Encoder, m Message) []byte {
 	e.Reset()
 	e.U8(uint8(m.Type()))
@@ -36,6 +38,8 @@ func MarshalWith(l *EncoderList, m Message) []byte {
 // TypePrepare tag. On error p holds partially decoded fields the caller
 // must ignore. Only safe for messages the engine does not retain: the
 // caller reuses p (and its slices) for the next message.
+//
+//bftvet:allocfree
 func UnmarshalPrepareInto(data []byte, p *Prepare) error {
 	if len(data) == 0 || Type(data[0]) != TypePrepare {
 		return fmt.Errorf("%w: not a prepare", ErrMalformed)
@@ -55,6 +59,8 @@ func UnmarshalPrepareInto(data []byte, p *Prepare) error {
 
 // UnmarshalCommitInto decodes a commit wire message into c, reusing the
 // capacity of c's Auth slice. Same contract as UnmarshalPrepareInto.
+//
+//bftvet:allocfree
 func UnmarshalCommitInto(data []byte, c *Commit) error {
 	if len(data) == 0 || Type(data[0]) != TypeCommit {
 		return fmt.Errorf("%w: not a commit", ErrMalformed)
@@ -74,6 +80,8 @@ func UnmarshalCommitInto(data []byte, c *Commit) error {
 // UnmarshalReplyInto decodes a reply wire message into r. r.Result aliases
 // data (which the receiving engine owns), so retaining the Result bytes is
 // safe even though r itself is reused.
+//
+//bftvet:allocfree
 func UnmarshalReplyInto(data []byte, r *Reply) error {
 	if len(data) == 0 || Type(data[0]) != TypeReply {
 		return fmt.Errorf("%w: not a reply", ErrMalformed)
@@ -95,6 +103,8 @@ func UnmarshalReplyInto(data []byte, r *Reply) error {
 }
 
 // decodeCommitRefsInto is decodeCommitRefs reusing refs' capacity.
+//
+//bftvet:allocfree
 func decodeCommitRefsInto(d *Decoder, refs []CommitRef) []CommitRef {
 	n := d.Count()
 	if d.Err() != nil {

@@ -13,9 +13,13 @@ import (
 type Counter struct{ v int64 }
 
 // Add increments the counter by n.
+//
+//bftvet:allocfree
 func (c *Counter) Add(n int64) { c.v += n }
 
 // Inc increments the counter by one.
+//
+//bftvet:allocfree
 func (c *Counter) Inc() { c.v++ }
 
 // Value returns the current count.
@@ -25,6 +29,8 @@ func (c *Counter) Value() int64 { return c.v }
 type Gauge struct{ v int64 }
 
 // Set replaces the gauge's value.
+//
+//bftvet:allocfree
 func (g *Gauge) Set(v int64) { g.v = v }
 
 // Value returns the current value.
@@ -74,6 +80,8 @@ func bucketMid(i int) int64 {
 }
 
 // Observe records one sample; negative samples clamp to zero.
+//
+//bftvet:allocfree
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0

@@ -114,6 +114,8 @@ func NewRecorder(node int32, capacity int) *Recorder {
 
 // Record appends one event stamped at the caller-supplied time. It never
 // allocates: full rings overwrite the oldest slot.
+//
+//bftvet:allocfree
 func (r *Recorder) Record(at time.Duration, kind Kind, seq, aux, aux2 int64) {
 	r.events[r.next] = Event{At: at, Seq: seq, Aux: aux, Aux2: aux2, Node: r.node, Kind: kind}
 	r.next++
