@@ -42,6 +42,7 @@ import (
 	"bftfast/internal/crypto"
 	"bftfast/internal/proc"
 	"bftfast/internal/transport"
+	"bftfast/internal/verifypool"
 )
 
 // Re-exported configuration and engine types. The aliases give downstream
@@ -140,6 +141,33 @@ func StartReplica(cfg Config, sm StateMachine, keys *Keyring, net Network) (*Rep
 		return nil, err
 	}
 	node, err := transport.Start(cfg.Self, engine, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{engine: engine, node: node}, nil
+}
+
+// StartReplicaPipelined is StartReplica with the multicore host pipeline:
+// inbound MAC verification and decoding run on a worker pool ahead of the
+// engine (internal/verifypool), and reply digests are batched through one
+// hasher pass per executed batch. The engine itself stays single-threaded
+// — workers only pre-verify; one consumer hands results over in arrival
+// order. workers <= 0 means one worker per core (GOMAXPROCS); workers == 1
+// degenerates to serial verification off the engine thread.
+//
+// Results are identical to StartReplica; only per-host throughput changes.
+// On UDP networks the pipeline also reads zero-copy from a shared buffer
+// free-list.
+func StartReplicaPipelined(cfg Config, sm StateMachine, keys *Keyring, net Network, workers int) (*Replica, error) {
+	cfg.BatchReplyDigests = true
+	engine, err := core.NewReplica(cfg, sm, keys, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	node, err := transport.StartPipelined(cfg.Self, engine, net, verifypool.Config{
+		Workers: workers,
+		Keys:    keys,
+	})
 	if err != nil {
 		return nil, err
 	}

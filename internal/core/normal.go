@@ -20,6 +20,15 @@ func (r *Replica) onRequest(req *message.Request, raw []byte) {
 		r.stats.DroppedMessages++
 		return
 	}
+	r.admitRequest(req, raw, d)
+}
+
+// admitRequest routes an authenticated client request: at-most-once
+// bookkeeping, the read-only fast path, request buffering, and primary
+// queueing / backup relay. Callers have already verified the request's
+// authenticator over digest d (the engine's onRequest, or the verify
+// pipeline's worker stage).
+func (r *Replica) admitRequest(req *message.Request, raw []byte, d crypto.Digest) {
 	r.trace(obs.EvRequestIn, 0, int64(req.Client), req.Timestamp)
 	rec := r.clientRec(req.Client)
 
@@ -238,22 +247,37 @@ func (r *Replica) onSlotResolved(s *slot) {
 
 // onPrepare processes a backup's prepare vote.
 func (r *Replica) onPrepare(p *message.Prepare) {
-	if r.inViewChange || p.View != r.view || !r.inWindow(p.Seq) {
-		return
-	}
-	sender := int(p.Replica)
-	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self || sender == r.cfg.PrimaryOf(p.View) {
-		r.stats.DroppedMessages++
+	if !r.admitPrepare(p) {
 		return
 	}
 	e := r.enc.Get()
 	content := message.OrderContentWithCommitsInto(e, p.View, p.Seq, p.Digest, p.Commits)
-	ok := r.suite.VerifyAuth(sender, p.Auth, content)
+	ok := r.suite.VerifyAuth(int(p.Replica), p.Auth, content)
 	r.enc.Put(e)
 	if !ok {
 		r.stats.DroppedMessages++
 		return
 	}
+	r.applyPrepare(p)
+}
+
+// admitPrepare applies the cheap admissibility checks that precede
+// verification: current view, in-window sequence, and a plausible sender
+// (a backup other than this replica — the primary never sends prepares).
+func (r *Replica) admitPrepare(p *message.Prepare) bool {
+	if r.inViewChange || p.View != r.view || !r.inWindow(p.Seq) {
+		return false
+	}
+	sender := int(p.Replica)
+	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self || sender == r.cfg.PrimaryOf(p.View) {
+		r.stats.DroppedMessages++
+		return false
+	}
+	return true
+}
+
+// applyPrepare records an admitted, authenticated prepare vote.
+func (r *Replica) applyPrepare(p *message.Prepare) {
 	s := r.getSlot(p.Seq)
 	if s.addPrepare(p.Digest, p.Replica) {
 		r.applyPiggybackCommits(p.Commits, p.Replica, p.View)
@@ -263,21 +287,35 @@ func (r *Replica) onPrepare(p *message.Prepare) {
 
 // onCommit processes a commit vote.
 func (r *Replica) onCommit(c *message.Commit) {
-	if r.inViewChange || c.View != r.view || !r.inWindow(c.Seq) {
-		return
-	}
-	sender := int(c.Replica)
-	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self {
-		r.stats.DroppedMessages++
+	if !r.admitCommit(c) {
 		return
 	}
 	e := r.enc.Get()
-	ok := r.suite.VerifyAuth(sender, c.Auth, message.OrderContentInto(e, c.View, c.Seq, c.Digest))
+	ok := r.suite.VerifyAuth(int(c.Replica), c.Auth, message.OrderContentInto(e, c.View, c.Seq, c.Digest))
 	r.enc.Put(e)
 	if !ok {
 		r.stats.DroppedMessages++
 		return
 	}
+	r.applyCommit(c)
+}
+
+// admitCommit is admitPrepare for commits (every replica but this one may
+// send them).
+func (r *Replica) admitCommit(c *message.Commit) bool {
+	if r.inViewChange || c.View != r.view || !r.inWindow(c.Seq) {
+		return false
+	}
+	sender := int(c.Replica)
+	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self {
+		r.stats.DroppedMessages++
+		return false
+	}
+	return true
+}
+
+// applyCommit records an admitted, authenticated commit vote.
+func (r *Replica) applyCommit(c *message.Commit) {
 	s := r.getSlot(c.Seq)
 	if s.addCommit(c.Digest, c.Replica) {
 		r.advance(s)

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bftfast/internal/message"
+	"bftfast/internal/verifypool"
+)
+
+// ReceiveVerified implements proc.VerifiedHandler: it accepts envelopes
+// whose MAC verification already ran on a transport-side verifypool stage
+// and applies them without re-verifying. The stage only marks the three
+// hot message types (request, prepare, commit) verified; everything else
+// arrives through the ordinary Receive path.
+//
+// The engine never trusts the label alone: Confirmed checks the stage's
+// verdict (and in paranoid test mode re-runs the cryptographic check), and
+// anything that is not a recognizably verified envelope is dropped and
+// counted, the same as a failed in-engine verification.
+func (r *Replica) ReceiveVerified(data []byte, env any) {
+	e, ok := env.(*verifypool.Envelope)
+	if !ok || !verifypool.Confirmed(e) {
+		r.stats.DroppedMessages++
+		return
+	}
+	switch e.Kind {
+	case message.TypePrepare:
+		p := &e.Prepare
+		if r.admitPrepare(p) {
+			r.applyPrepare(p)
+		}
+	case message.TypeCommit:
+		c := &e.Commit
+		if r.admitCommit(c) {
+			r.applyCommit(c)
+		}
+	case message.TypeRequest:
+		// data is the engine-owned encoded request (the stage clones it),
+		// retained for pre-prepare inlining like the Receive path's raw.
+		r.admitRequest(e.Request, data, e.ReqDigest)
+	default:
+		// The stage never marks other kinds verified.
+		r.stats.DroppedMessages++
+	}
+}

@@ -1,0 +1,86 @@
+package crypto
+
+// VerifyView is a per-goroutine read-only verification view of a KeyTable.
+//
+// MAC computation through the table itself serializes on the table lock
+// (each (peer, direction) caches one mutable HMAC state), which caps
+// verification throughput at one core no matter how many goroutines call
+// VerifyEntry. A VerifyView gives each verifier goroutine its own cache of
+// inbound HMAC states plus its own digest scratch, so concurrent workers
+// verify without contending: the only shared access is a lock-free
+// generation load per call and a read-locked key lookup on cache misses.
+//
+// Rotation safety: the table bumps its generation counter under the write
+// lock on every key mutation. A view that observes a new generation drops
+// its entire cache before verifying, so a stale state survives at most the
+// in-flight verification racing the rotation — that verification fails (or
+// spuriously succeeds against the key that was valid when the datagram was
+// sent, which the old serialized path allowed too) and the retransmission
+// verifies against the fresh key. Proactive recovery only needs "messages
+// authenticated with the previous keys stop verifying promptly", which this
+// preserves.
+//
+// A VerifyView must not be shared between goroutines; create one per
+// worker.
+type VerifyView struct {
+	t      *KeyTable
+	gen    uint64
+	in     map[int]*macState
+	hasher Hasher
+}
+
+// View returns a fresh verification view of the table.
+func (t *KeyTable) View() *VerifyView {
+	return &VerifyView{t: t, gen: t.gen.Load(), in: make(map[int]*macState)}
+}
+
+// state returns the view-local HMAC state for sender, refreshing the cache
+// if the table's keys changed since the last call. Returns nil when no
+// inbound key is known for sender.
+func (v *VerifyView) state(sender int) *macState {
+	if g := v.t.gen.Load(); g != v.gen {
+		clear(v.in)
+		v.gen = g
+	}
+	if st := v.in[sender]; st != nil {
+		return st
+	}
+	k, ok := v.t.Inbound(sender)
+	if !ok {
+		return nil
+	}
+	st := newMACState(k)
+	v.in[sender] = st
+	return st
+}
+
+// VerifyEntry checks the table owner's entry of an authenticator produced
+// by sender, like the package-level VerifyEntry but without taking the
+// table's write lock.
+func (v *VerifyView) VerifyEntry(sender int, a Authenticator, content ...[]byte) bool {
+	if v.t.self >= len(a) || sender == v.t.self {
+		return false
+	}
+	st := v.state(sender)
+	if st == nil {
+		return false
+	}
+	return macEqual(st.compute(content), a[v.t.self])
+}
+
+// VerifySingle checks a point-to-point MAC from sender to the table owner.
+func (v *VerifyView) VerifySingle(sender int, tag MAC, content ...[]byte) bool {
+	st := v.state(sender)
+	if st == nil {
+		return false
+	}
+	return macEqual(st.compute(content), tag)
+}
+
+// Digest computes a digest through the view's private scratch state.
+func (v *VerifyView) Digest(pieces ...[]byte) Digest {
+	return v.hasher.Digest(pieces...)
+}
+
+// Self returns the id of the node the underlying table belongs to.
+func (v *VerifyView) Self() int { return v.t.self }

@@ -1,0 +1,159 @@
+package hostbench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"bftfast/internal/message"
+	"bftfast/internal/transport"
+	"bftfast/internal/verifypool"
+)
+
+// VerifyWorkers is the worker count the pipeline benchmarks run with;
+// 0 means one worker per core (runtime.GOMAXPROCS). cmd/bench-host sets it
+// from -verify-workers, so two reports taken at different counts compare
+// the same benchmark names (VerifyPoolStage, UDPHostPipeline) directly.
+var VerifyWorkers int
+
+func effectiveVerifyWorkers() int {
+	if VerifyWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return VerifyWorkers
+}
+
+// benchVerifyPool measures the verification stage alone: pre-authenticated
+// prepare/commit datagrams submitted from one goroutine (the transport
+// reader's role) and drained by the pool's consumer. ns/op is the
+// steady-state per-datagram cost of the full submit→verify→deliver→release
+// cycle at the given worker count.
+func benchVerifyPool(b *testing.B, workers int) {
+	tables := keyedTables(groupN)
+	prepWire := message.Marshal(samplePrepare(tables))
+	commitWire := message.Marshal(sampleCommit(tables))
+
+	var delivered atomic.Int64
+	target := int64(b.N)
+	done := make(chan struct{})
+	p := verifypool.New(verifypool.Config{
+		Workers: workers,
+		Keys:    tables[0],
+		Deliver: func(e *verifypool.Envelope) {
+			e.Release()
+			if delivered.Add(1) == target {
+				close(done)
+			}
+		},
+	})
+	defer p.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := prepWire
+		if i&1 == 1 {
+			wire = commitWire
+		}
+		for !p.Submit(wire) {
+			runtime.Gosched() // pool saturated: let the consumer drain
+		}
+	}
+	<-done
+	b.StopTimer()
+	if got := p.Rejected(); got != 0 {
+		b.Fatalf("%d valid datagrams rejected", got)
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchVerifyPoolStage measures the pool at the configured worker count
+// (VerifyWorkers; default one per core).
+func BenchVerifyPoolStage(b *testing.B) { benchVerifyPool(b, effectiveVerifyWorkers()) }
+
+// BenchVerifyPoolStageSerial is the workers=1 baseline: the bypass path
+// verifies synchronously inside Submit, so this is the single-core cost the
+// parallel stage is compared against.
+func BenchVerifyPoolStageSerial(b *testing.B) { benchVerifyPool(b, 1) }
+
+// udpBenchPorts are loopback ports for the real-UDP pipeline benchmark
+// (fixed, like the transport tests; distinct from their ranges).
+const (
+	udpBenchReceiver = "127.0.0.1:48331"
+	udpBenchSender   = "127.0.0.1:48332"
+)
+
+// BenchUDPHostPipeline measures real-UDP per-host inbound throughput: a
+// sender blasts pre-authenticated ordering datagrams at a receiving host
+// whose socket reader feeds the verification pool through the zero-copy
+// owned-buffer path (RegisterOwned). ns/op is wall time per verified
+// datagram, including the socket syscalls — the per-host figure that scales
+// with VerifyWorkers. Kernel and backpressure drops are expected under
+// blast load; the sender keeps sending until b.N datagrams have been
+// verified.
+func BenchUDPHostPipeline(b *testing.B) {
+	workers := effectiveVerifyWorkers()
+	tables := keyedTables(groupN)
+	prepWire := message.Marshal(samplePrepare(tables))
+	commitWire := message.Marshal(sampleCommit(tables))
+
+	net, err := transport.NewUDPNetwork(map[int]string{
+		0: udpBenchReceiver,
+		1: udpBenchSender,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+
+	var delivered atomic.Int64
+	target := int64(b.N)
+	done := make(chan struct{})
+	pool := verifypool.New(verifypool.Config{
+		Workers: workers,
+		Keys:    tables[0],
+		Deliver: func(e *verifypool.Envelope) {
+			e.Release()
+			if n := delivered.Add(1); n == target {
+				close(done)
+			}
+		},
+	})
+	defer pool.Close()
+
+	if err := net.RegisterOwned(0, pool.Buffers(), pool.SubmitOwned); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Register(1, func([]byte) {}); err != nil {
+		b.Fatal(err)
+	}
+
+	// The sender starts inside the timed region: otherwise a tiny first
+	// b.N can be satisfied before ResetTimer, measure ~0 ns/op, and stampede
+	// the framework into a huge iteration count.
+	stop := make(chan struct{})
+	senderDone := make(chan struct{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		defer close(senderDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wire := prepWire
+			if i&1 == 1 {
+				wire = commitWire
+			}
+			net.Send(1, 0, wire)
+		}
+	}()
+	<-done
+	b.StopTimer()
+	close(stop)
+	<-senderDone
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(net.Backpressure())/float64(b.N), "backpressure/op")
+}

@@ -1,0 +1,86 @@
+package hostbench
+
+import (
+	"fmt"
+	"testing"
+
+	"bftfast/internal/message"
+	"bftfast/internal/verifypool"
+)
+
+// TestPipelineHandoffAllocs pins the zero-allocation contract of the
+// transport→engine handoff: once the envelope scratch, HMAC-state caches
+// and free-lists are warm, pushing a steady-state ordering datagram through
+// submit→verify→deliver→release touches the heap zero times — in bypass
+// mode (workers=1, synchronous inside Submit) and through the full
+// worker/consumer fan-out alike. The copying Submit path and the zero-copy
+// owned-buffer path (the UDP reader's regime) are both held to the bar.
+// Requests are exempt: their bytes are retained by the engine, so the
+// engine-owned clone is a required allocation, like the send-buffer clone
+// on the outbound path.
+func TestPipelineHandoffAllocs(t *testing.T) {
+	tables := keyedTables(groupN)
+	prepWire := message.Marshal(samplePrepare(tables))
+	commitWire := message.Marshal(sampleCommit(tables))
+
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// A small explicit depth keeps the warm-up loop proportionate:
+			// envelopes rotate FIFO through the free list, so steady state
+			// begins only after every envelope's scratch has been sized once.
+			const depth = 8
+			delivered := make(chan *verifypool.Envelope, 1)
+			p := verifypool.New(verifypool.Config{
+				Workers: workers,
+				Keys:    tables[0],
+				Depth:   depth,
+				Deliver: func(e *verifypool.Envelope) { delivered <- e },
+			})
+			defer p.Close()
+			bufs := p.Buffers()
+
+			cycle := func(wire []byte) {
+				if !p.Submit(wire) {
+					t.Fatal("pool refused a datagram with no backlog")
+				}
+				e := <-delivered
+				if e.Verdict() != verifypool.VerdictVerified {
+					t.Fatalf("verdict %v, want verified", e.Verdict())
+				}
+				e.Release()
+			}
+			cycleOwned := func(wire []byte) {
+				buf := bufs.Get()
+				n := copy(buf, wire)
+				if !p.SubmitOwned(buf, n) {
+					t.Fatal("pool refused an owned datagram with no backlog")
+				}
+				e := <-delivered
+				if e.Verdict() != verifypool.VerdictVerified {
+					t.Fatalf("verdict %v, want verified", e.Verdict())
+				}
+				e.Release() // returns buf to bufs
+			}
+
+			// Warm every pooled envelope (and the owned-buffer free list)
+			// with the larger wire so all scratch reaches full size.
+			for i := 0; i < 2*depth; i++ {
+				cycle(prepWire)
+				cycleOwned(prepWire)
+			}
+
+			if got := allocs(func() { cycle(prepWire) }); got != 0 {
+				t.Errorf("prepare handoff: %v allocs/op, want 0", got)
+			}
+			if got := allocs(func() { cycle(commitWire) }); got != 0 {
+				t.Errorf("commit handoff: %v allocs/op, want 0", got)
+			}
+			if got := allocs(func() { cycleOwned(prepWire) }); got != 0 {
+				t.Errorf("owned-buffer prepare handoff: %v allocs/op, want 0", got)
+			}
+			if got := allocs(func() { cycleOwned(commitWire) }); got != 0 {
+				t.Errorf("owned-buffer commit handoff: %v allocs/op, want 0", got)
+			}
+		})
+	}
+}

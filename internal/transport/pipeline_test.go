@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"bftfast/internal/verifypool"
+)
+
+// TestUDPRegisterOwnedDelivery pins the zero-copy reader contract: each
+// datagram arrives in a free-listed buffer whose ownership transfers to the
+// recv callback, and a buffer returned with Put comes back to the same
+// reader — the steady state allocates nothing per datagram (gated in
+// hostbench; this test checks the plumbing).
+func TestUDPRegisterOwnedDelivery(t *testing.T) {
+	net, err := NewUDPNetwork(map[int]string{
+		0: "127.0.0.1:48351",
+		1: "127.0.0.1:48352",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	bufs := verifypool.NewBufferPool(4, maxDatagram)
+	type datagram struct {
+		buf []byte
+		n   int
+	}
+	got := make(chan datagram, 8)
+	if err := net.RegisterOwned(0, bufs, func(buf []byte, n int) bool {
+		got <- datagram{buf, n}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(1, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("owned-buffer-datagram")
+	net.Send(1, 0, payload)
+	d := <-got
+	if !bytes.Equal(d.buf[:d.n], payload) {
+		t.Fatalf("received %q, want %q", d.buf[:d.n], payload)
+	}
+	// Ownership is ours now: recycle it and send again — the reader must
+	// keep delivering with the free list cycling.
+	bufs.Put(d.buf)
+	net.Send(1, 0, payload)
+	d = <-got
+	if !bytes.Equal(d.buf[:d.n], payload) {
+		t.Fatalf("second datagram %q, want %q", d.buf[:d.n], payload)
+	}
+	if got := net.Backpressure(); got != 0 {
+		t.Fatalf("backpressure = %d, want 0", got)
+	}
+}
+
+// TestUDPRegisterOwnedBackpressure pins the refusal path: when recv reports
+// false (pipeline saturated) the datagram is dropped, the backpressure
+// counter ticks, and the reader keeps its buffer — delivery resumes as soon
+// as recv accepts again.
+func TestUDPRegisterOwnedBackpressure(t *testing.T) {
+	net, err := NewUDPNetwork(map[int]string{
+		0: "127.0.0.1:48353",
+		1: "127.0.0.1:48354",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	bufs := verifypool.NewBufferPool(4, maxDatagram)
+	accept := make(chan bool, 8)
+	got := make(chan int, 8)
+	if err := net.RegisterOwned(0, bufs, func(buf []byte, n int) bool {
+		if !<-accept {
+			return false
+		}
+		got <- n
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(1, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	accept <- false
+	net.Send(1, 0, []byte("refused"))
+	accept <- true // next datagram goes through
+	net.Send(1, 0, []byte("accepted"))
+	if n := <-got; n != len("accepted") {
+		t.Fatalf("accepted datagram length %d, want %d", n, len("accepted"))
+	}
+	if got := net.Backpressure(); got != 1 {
+		t.Fatalf("backpressure = %d, want 1", got)
+	}
+}
+
+// TestUDPRegisterOwnedRejectsSmallBuffers pins the safety check: a buffer
+// pool sized below maxDatagram could silently truncate reads, so
+// registration must refuse it.
+func TestUDPRegisterOwnedRejectsSmallBuffers(t *testing.T) {
+	net, err := NewUDPNetwork(map[int]string{0: "127.0.0.1:48355"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.RegisterOwned(0, verifypool.NewBufferPool(4, 1024), func([]byte, int) bool { return true }); err == nil {
+		t.Fatal("undersized buffer pool accepted")
+	}
+}
+
+// TestUDPSocketBufferSizing exercises the socket-buffer knobs: explicit
+// sizes and the leave-OS-default escape hatch must both register cleanly
+// (the kernel may clamp the values; the calls themselves must not fail
+// registration).
+func TestUDPSocketBufferSizing(t *testing.T) {
+	net, err := NewUDPNetwork(map[int]string{0: "127.0.0.1:48356", 1: "127.0.0.1:48357"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.ReadBufferBytes = 256 << 10
+	net.WriteBufferBytes = -1 // leave the OS default
+	if err := net.Register(0, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	net.ReadBufferBytes = 0 // defaultSocketBuffer
+	net.WriteBufferBytes = 0
+	if err := net.Register(1, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"bftfast/internal/obs"
+	"bftfast/internal/verifypool"
 )
 
 // maxDatagram bounds UDP reads; the protocol's largest normal-case
@@ -14,17 +15,32 @@ import (
 // fragments are 8 KiB, both far below this.
 const maxDatagram = 64 << 10
 
+// defaultSocketBuffer is the kernel send/receive buffer size requested for
+// each node's socket. The OS-default UDP buffer (a couple hundred KiB on
+// Linux) overflows under the benchmark's burst rates long before the
+// engine saturates; one MiB rides out multi-sender bursts. The kernel
+// clamps to its configured maximum (net.core.rmem_max) silently.
+const defaultSocketBuffer = 1 << 20
+
 // UDPNetwork is a Network over real UDP sockets, one per local node. The
 // address table maps node ids to UDP addresses (typically loopback ports in
 // the demo, distinct hosts in a deployment).
 type UDPNetwork struct {
 	addrs map[int]*net.UDPAddr
 
+	// ReadBufferBytes and WriteBufferBytes size each socket's kernel
+	// buffers at Register time (SetReadBuffer/SetWriteBuffer); zero means
+	// defaultSocketBuffer, negative leaves the OS default. Set before
+	// registering nodes.
+	ReadBufferBytes  int
+	WriteBufferBytes int
+
 	mu    sync.Mutex
 	conns map[int]*net.UDPConn
 	wg    sync.WaitGroup
 
-	oversized atomic.Int64
+	oversized    atomic.Int64
+	backpressure atomic.Int64
 }
 
 // Oversized reports how many inbound datagrams were dropped because they
@@ -33,11 +49,18 @@ type UDPNetwork struct {
 // the limit needs raising in lockstep on every node.
 func (u *UDPNetwork) Oversized() int64 { return u.oversized.Load() }
 
+// Backpressure reports how many inbound datagrams the receiver refused
+// (verification pipeline saturated): the user-space analogue of a kernel
+// socket-buffer drop. Only the RegisterOwned path can refuse; plain
+// Register callbacks always accept.
+func (u *UDPNetwork) Backpressure() int64 { return u.backpressure.Load() }
+
 // RegisterMetrics exposes the network's drop counters under prefix
 // (e.g. "udp.") through the unified obs snapshot API. The gauges read
 // atomics and are safe to snapshot while readers run.
 func (u *UDPNetwork) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"oversized", u.oversized.Load)
+	reg.GaugeFunc(prefix+"backpressure", u.backpressure.Load)
 }
 
 // NewUDPNetwork builds a network from a node-id to address table.
@@ -53,21 +76,44 @@ func NewUDPNetwork(addrs map[int]string) (*UDPNetwork, error) {
 	return &UDPNetwork{addrs: resolved, conns: make(map[int]*net.UDPConn)}, nil
 }
 
-// Register implements Network: binds the node's socket and starts its
-// reader goroutine.
-func (u *UDPNetwork) Register(id int, recv func(data []byte)) error {
+// bind opens and sizes the node's socket. Buffer-sizing errors are
+// ignored: kernels clamp oversized requests, and a socket with default
+// buffers still works — just drops earlier under load.
+func (u *UDPNetwork) bind(id int) (*net.UDPConn, error) {
 	addr, ok := u.addrs[id]
 	if !ok {
-		return fmt.Errorf("transport: no address for node %d", id)
+		return nil, fmt.Errorf("transport: no address for node %d", id)
 	}
 	conn, err := net.ListenUDP("udp", addr)
 	if err != nil {
-		return fmt.Errorf("transport: binding node %d: %w", id, err)
+		return nil, fmt.Errorf("transport: binding node %d: %w", id, err)
+	}
+	if rb := sizeOrDefault(u.ReadBufferBytes); rb > 0 {
+		_ = conn.SetReadBuffer(rb)
+	}
+	if wb := sizeOrDefault(u.WriteBufferBytes); wb > 0 {
+		_ = conn.SetWriteBuffer(wb)
 	}
 	u.mu.Lock()
 	u.conns[id] = conn
 	u.mu.Unlock()
+	return conn, nil
+}
 
+func sizeOrDefault(configured int) int {
+	if configured == 0 {
+		return defaultSocketBuffer
+	}
+	return configured
+}
+
+// Register implements Network: binds the node's socket and starts its
+// reader goroutine.
+func (u *UDPNetwork) Register(id int, recv func(data []byte)) error {
+	conn, err := u.bind(id)
+	if err != nil {
+		return err
+	}
 	u.wg.Add(1)
 	go func() {
 		defer u.wg.Done()
@@ -81,6 +127,54 @@ func (u *UDPNetwork) Register(id int, recv func(data []byte)) error {
 		}
 	}()
 	return nil
+}
+
+// RegisterOwned implements OwnedRegistrar: the reader draws buffers from
+// the shared free-list and transfers ownership to recv, so the hot path
+// performs no per-datagram allocation or copy (the free-list recycles
+// released buffers back to this reader).
+func (u *UDPNetwork) RegisterOwned(id int, bufs *verifypool.BufferPool, recv func(buf []byte, n int) bool) error {
+	if bufs.Size() < maxDatagram {
+		return fmt.Errorf("transport: buffer pool size %d below maxDatagram %d", bufs.Size(), maxDatagram)
+	}
+	conn, err := u.bind(id)
+	if err != nil {
+		return err
+	}
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		buf := bufs.Get()
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				bufs.Put(buf)
+				return // closed
+			}
+			if u.deliverOwned(buf, n, recv) {
+				buf = bufs.Get()
+			}
+		}
+	}()
+	return nil
+}
+
+// deliverOwned hands one free-listed datagram buffer to recv, reporting
+// whether ownership transferred. Buffer-filling (possibly truncated)
+// datagrams are dropped as oversized, like deliver; a refusal by recv is
+// backpressure — the pipeline behind it is saturated.
+//
+//bftvet:allocfree
+func (u *UDPNetwork) deliverOwned(buf []byte, n int, recv func(buf []byte, n int) bool) bool {
+	if n >= len(buf) {
+		u.oversized.Add(1)
+		return false
+	}
+	if !recv(buf, n) {
+		u.backpressure.Add(1)
+		return false
+	}
+	return true
 }
 
 // deliver copies one received datagram of length n out of the reader's

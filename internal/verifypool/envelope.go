@@ -1,0 +1,201 @@
+package verifypool
+
+import (
+	"bftfast/internal/crypto"
+	"bftfast/internal/message"
+)
+
+// Verdict is the outcome of a worker's verification of one datagram.
+type Verdict uint8
+
+const (
+	// VerdictPassthrough marks a cold-path message the pool does not
+	// verify: the engine receives an owned copy through its ordinary
+	// Receive path and applies its own checks.
+	VerdictPassthrough Verdict = iota
+	// VerdictVerified marks a hot-path message whose MAC verified against
+	// the receiver's key table; the engine may apply it without
+	// re-verifying.
+	VerdictVerified
+	// VerdictRejected marks a datagram that failed decoding or MAC
+	// verification; the consumer drops it without delivery.
+	VerdictRejected
+)
+
+// Envelope carries one datagram through the pipeline. Envelopes are pooled:
+// the deliverer must call Release when the engine is done, after which no
+// field may be touched. The decoded views (Prepare, Commit) reuse the
+// envelope's scratch capacity and are valid only until Release; Request
+// and RequestRaw are freshly engine-owned and may be retained.
+type Envelope struct {
+	// Kind is the wire type tag of the datagram.
+	Kind message.Type
+
+	// Prepare holds the decoded prepare when Kind == TypePrepare and the
+	// verdict is VerdictVerified. Scratch: valid until Release.
+	Prepare message.Prepare
+
+	// Commit holds the decoded commit when Kind == TypeCommit and the
+	// verdict is VerdictVerified. Scratch: valid until Release.
+	Commit message.Commit
+
+	// Request and RequestRaw hold the decoded request and its encoded
+	// bytes when Kind == TypeRequest and the verdict is VerdictVerified.
+	// Both are engine-owned (the engine buffers request bodies).
+	Request    *message.Request
+	RequestRaw []byte
+
+	// ReqDigest is the request's identity digest, computed on the worker
+	// so the engine does not hash again.
+	ReqDigest crypto.Digest
+
+	verdict Verdict
+
+	pool  *Pool
+	buf   []byte        // envelope-owned copy target for Submit
+	ext   []byte        // adopted reader buffer for SubmitOwned
+	data  []byte        // the datagram bytes (into buf or ext)
+	owned []byte        // engine-owned copy for passthrough delivery
+	ready chan struct{} // signaled by the worker when the verdict is set
+}
+
+// Verdict reports the verification outcome.
+func (e *Envelope) Verdict() Verdict { return e.verdict }
+
+// Bytes returns the datagram for handler delivery: the engine-owned
+// request bytes for verified requests (retainable), the pool-owned scratch
+// otherwise (valid until Release).
+func (e *Envelope) Bytes() []byte {
+	if e.Kind == message.TypeRequest && e.RequestRaw != nil {
+		return e.RequestRaw
+	}
+	return e.data
+}
+
+// Owned returns the engine-owned copy of a passthrough datagram, with the
+// same ownership contract as proc.Handler.Receive.
+func (e *Envelope) Owned() []byte { return e.owned }
+
+// Release returns the envelope (and any adopted reader buffer) to the
+// pool. The deliverer calls it exactly once per delivered envelope; after
+// that the envelope must not be touched.
+//
+//bftvet:allocfree
+func (e *Envelope) Release() {
+	p := e.pool
+	if e.ext != nil {
+		p.bufs.Put(e.ext)
+		e.ext = nil
+	}
+	e.data = nil
+	e.owned = nil
+	e.Request = nil
+	e.RequestRaw = nil
+	e.ReqDigest = crypto.Digest{}
+	e.verdict = VerdictPassthrough
+	select {
+	case p.free <- e:
+	default:
+		// free has capacity for every envelope ever created; only a
+		// double release could land here, and dropping is the safe answer.
+	}
+}
+
+// paranoid turns Confirmed into a full cryptographic recheck; tests use it
+// to prove the handoff cannot smuggle unverified bytes past the engine.
+var paranoid = false
+
+// SetParanoid toggles recheck-on-Confirmed (test hook; not safe to flip
+// while a pool runs).
+func SetParanoid(on bool) { paranoid = on }
+
+// Confirmed reports whether the engine may trust the envelope's contents
+// without re-verifying: the worker's verdict must be VerdictVerified, and
+// in paranoid mode the MAC is re-verified against the key table directly.
+// This function is the pipeline's verification event in the macflow taint
+// model (it carries the exported "verifies" fact through recheck).
+func Confirmed(e *Envelope) bool {
+	if e == nil || e.verdict != VerdictVerified {
+		return false
+	}
+	if paranoid {
+		return recheck(e)
+	}
+	return true
+}
+
+// recheck re-runs the worker's verification against the key table. It is
+// the cryptographic ground truth behind Confirmed: macflow's taint pass
+// sees the crypto.Verify* calls here and summarizes Confirmed as verifying.
+func recheck(e *Envelope) bool {
+	t := e.pool.keys
+	var enc message.Encoder
+	switch e.Kind {
+	case message.TypePrepare:
+		p := &e.Prepare
+		content := message.OrderContentWithCommitsInto(&enc, p.View, p.Seq, p.Digest, p.Commits)
+		return crypto.VerifyEntry(t, int(p.Replica), p.Auth, content)
+	case message.TypeCommit:
+		c := &e.Commit
+		return crypto.VerifyEntry(t, int(c.Replica), c.Auth, message.OrderContentInto(&enc, c.View, c.Seq, c.Digest))
+	case message.TypeRequest:
+		if e.Request == nil {
+			return false
+		}
+		d := crypto.HashAll(e.Request.ContentInto(&enc))
+		if d != e.ReqDigest {
+			return false
+		}
+		return crypto.VerifyEntry(t, int(e.Request.Client), e.Request.Auth, d[:])
+	}
+	return false
+}
+
+// BufferPool is a free-list of fixed-size reader buffers shared between a
+// transport's reader goroutine and the pool: the reader draws a buffer,
+// fills it from the socket, and transfers ownership via SubmitOwned; the
+// buffer comes back to the list when the envelope is released. The reader
+// thus stops allocating one fresh buffer per datagram on the hot path.
+type BufferPool struct {
+	size int
+	free chan []byte
+}
+
+// NewBufferPool builds a free-list of n buffers of the given size. Buffers
+// are allocated lazily: Get falls back to a fresh allocation when the list
+// runs dry (startup, or more buffers in flight than n).
+func NewBufferPool(n, size int) *BufferPool {
+	return &BufferPool{size: size, free: make(chan []byte, n)}
+}
+
+// Size returns the buffer size.
+func (b *BufferPool) Size() int { return b.size }
+
+// Get returns a buffer of the pool's size, reusing a released one when
+// available.
+//
+//bftvet:allocfree
+func (b *BufferPool) Get() []byte {
+	select {
+	case buf := <-b.free:
+		return buf
+	default:
+		return b.alloc()
+	}
+}
+
+// alloc is Get's cold path: the free-list ran dry.
+func (b *BufferPool) alloc() []byte { return make([]byte, b.size) }
+
+// Put returns a buffer to the free-list. Foreign or undersized buffers are
+// discarded rather than recycled; a full list (more Puts than Gets, which
+// only a misuse produces) drops the buffer to the garbage collector.
+func (b *BufferPool) Put(buf []byte) {
+	if len(buf) != b.size {
+		return
+	}
+	select {
+	case b.free <- buf:
+	default:
+	}
+}
