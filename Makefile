@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race test-adversary fuzz-smoke bench bench-host breakdown figures fs-figures examples clean
+.PHONY: all build lint docs-check test test-race test-adversary fuzz-smoke bench bench-host breakdown figures fs-figures examples clean
 
-all: build lint test
+all: build lint docs-check test
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,27 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Docs anchor lint: every PROTOCOL.md#... or DESIGN.md#... link in the
+# tracked docs must resolve to a real heading in the target file. Slugs are
+# GitHub-style: lowercase, punctuation stripped, spaces become hyphens.
+docs-check:
+	@status=0; \
+	for src in README.md PROTOCOL.md DESIGN.md EXPERIMENTS.md ROADMAP.md; do \
+		[ -f $$src ] || continue; \
+		for link in $$(grep -oE '\((PROTOCOL|DESIGN|README|EXPERIMENTS)\.md#[a-z0-9-]+\)' $$src | tr -d '()' | sort -u); do \
+			doc=$${link%%#*}; anchor=$${link#*#}; \
+			if ! sed -n 's/^#\{1,6\} //p' $$doc \
+				| tr '[:upper:]' '[:lower:]' \
+				| sed 's/[^a-z0-9 -]//g; s/ /-/g' \
+				| grep -qx "$$anchor"; then \
+				echo "docs-check: $$src links $$doc#$$anchor but $$doc has no such heading"; \
+				status=1; \
+			fi; \
+		done; \
+	done; \
+	if [ $$status -eq 0 ]; then echo "docs-check: all doc anchors resolve"; fi; \
+	exit $$status
 
 test:
 	$(GO) test ./...

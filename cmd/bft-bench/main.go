@@ -10,6 +10,7 @@
 //	bft-bench -figure tentative  # §4.4 tentative-execution results
 //	bft-bench -figure piggyback  # §4.4 piggybacked-commit results
 //	bft-bench -figure ablation   # design-knob sweeps (window, K, threshold)
+//	bft-bench -figure parallel   # parallel-leader ordering g sweep
 //	bft-bench -figure adversary  # Byzantine campaign + adversarial 4/0 column
 //	bft-bench -figure all        # everything (without the adversary campaign)
 //
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 2-7, tentative, piggyback, ablation, adversary, all")
+	figure := flag.String("figure", "all", "figure to regenerate: 2-7, tentative, piggyback, ablation, parallel, adversary, all")
 	scale := flag.Float64("scale", 1.0, "measurement-window scale (smaller is faster, noisier)")
 	clientsFlag := flag.String("clients", "", "comma-separated client counts for throughput sweeps")
 	flag.Parse()
@@ -74,6 +75,10 @@ func main() {
 			bench.AblationWindow(50, *scale).Print(out)
 			bench.AblationCheckpointInterval(50, *scale).Print(out)
 			bench.AblationInlineThreshold(*scale).Print(out)
+		case "parallel":
+			// The parallel-leader sweep wants a saturated leader; default to
+			// the largest configured client count.
+			bench.ParallelLeaders(bench.ParallelLeaderCounts, clients[len(clients)-1], *scale).Print(out)
 		case "adversary":
 			campaign.AdversarialFigure4(clients, *scale).Print(out)
 			res := campaign.Run(campaign.Params{Seed: 1, Scale: *scale, Clients: 10})
@@ -91,7 +96,7 @@ func main() {
 	}
 
 	if *figure == "all" {
-		for _, name := range []string{"2", "3", "4", "5", "6", "7", "tentative", "piggyback", "ablation"} {
+		for _, name := range []string{"2", "3", "4", "5", "6", "7", "tentative", "piggyback", "ablation", "parallel"} {
 			run(name)
 		}
 		return

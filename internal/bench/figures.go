@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"bftfast/internal/obs"
 )
 
 // ResultSizes is the paper's x-axis for Figures 2 and 5 (bytes).
@@ -304,6 +306,59 @@ func Figure7(clients []int, scale float64) (latency, throughput *Table) {
 		})
 	}
 	return latency, throughput
+}
+
+// ParallelLeaderCounts is the g-axis of the parallel-leader sweep.
+var ParallelLeaderCounts = []int{1, 2, 4}
+
+// ParallelLeaders measures the parallel-leader extension: a Figure-4-style
+// 0/0 saturation point per instance count g, with the obs per-phase
+// breakdown alongside (the claim under test: throughput grows with g while
+// the ordering phase — request acceptance to pre-prepare multicast, the
+// serial leader work — stays flat). leader_cpu% is the busiest host's CPU
+// utilization over the run, the structural bottleneck parallel leaders
+// exist to spread.
+func ParallelLeaders(gs []int, clients int, scale float64) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Parallel-leader ordering: operation 0/0, %d clients", clients),
+		Header: []string{"g", "ops", "lat_ms", "p50_ms", "p99_ms", "leader_cpu%",
+			"request_us", "ordering_us", "prepare_us", "commit_us", "execute_us", "reply_us"},
+	}
+	for _, g := range gs {
+		p := DefaultMicroParams()
+		scaleWindows(&p, scale)
+		p.Clients = clients
+		p.Instances = g
+		p.Trace = true
+		// Phase attribution needs the measure window's boundary events to
+		// survive in every ring; the default capacity is sized for the
+		// shorter trace tests.
+		p.TraceCapacity = 1 << 18
+		res := RunMicro(p)
+		bd := obs.Summarize(obs.AssembleSpans(res.Events), p.Warmup)
+
+		busiest := int64(0)
+		if res.Metrics != nil {
+			for i := 0; i < p.Replicas; i++ {
+				if m, ok := res.Metrics.Get(fmt.Sprintf("sim.node%d.cpu_busy_ns", i)); ok && m.Value > busiest {
+					busiest = m.Value
+				}
+			}
+		}
+		cpu := 100 * float64(busiest) / float64(p.Warmup+p.Measure)
+
+		row := []string{
+			fmt.Sprint(g),
+			fmt.Sprintf("%.0f", res.Throughput),
+			ms(res.Latency), ms(res.P50), ms(res.P99),
+			fmt.Sprintf("%.0f", cpu),
+		}
+		for _, d := range bd.Phases {
+			row = append(row, fmt.Sprintf("%.0f", float64(d)/1e3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
 }
 
 // TentativeExecution measures the latency effect of tentative execution at

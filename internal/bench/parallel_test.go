@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bftfast/internal/obs"
+)
+
+// goldenParams reproduces the exact configuration the checked-in golden
+// traces were captured with (tools/goldentrace regenerates them). Any drift
+// here breaks the comparison by construction, not by protocol change.
+func goldenParams(clients int, readOnly bool) MicroParams {
+	p := DefaultMicroParams()
+	p.Clients = clients
+	p.ReadOnly = readOnly
+	p.Warmup = 40 * time.Millisecond
+	p.Measure = 80 * time.Millisecond
+	p.Trace = true
+	return p
+}
+
+// TestParallelLeaderG1BitIdentical is the tentpole's backward-compatibility
+// contract: with Instances at 0 (unset) or 1, the engine must reproduce the
+// single-leader engine's behavior bit for bit. The golden traces under
+// testdata/ were captured from the engine BEFORE the multi-instance change
+// landed, so every event — virtual timestamps included — and every headline
+// metric must match byte-for-byte.
+func TestParallelLeaderG1BitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		clients int
+		ro      bool
+	}{
+		{"golden_g1_rw", 6, false},
+		{"golden_g1_ro", 4, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			golden, err := os.ReadFile(filepath.Join("testdata", tc.name+".trc"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantHeadline, err := os.ReadFile(filepath.Join("testdata", tc.name+".headline"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range []int{0, 1} {
+				p := goldenParams(tc.clients, tc.ro)
+				p.Instances = g
+				res := RunMicro(p)
+
+				var buf bytes.Buffer
+				if err := obs.WriteTrace(&buf, res.Events); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), golden) {
+					t.Errorf("g=%d: trace differs from the pre-change golden (%d vs %d bytes)",
+						g, buf.Len(), len(golden))
+				}
+				gotHeadline := fmt.Sprintf("completed=%d lost=%d throughput=%.6f latency=%d p50=%d p99=%d\n",
+					res.Completed, res.Lost, res.Throughput, int64(res.Latency), int64(res.P50), int64(res.P99))
+				if gotHeadline != string(wantHeadline) {
+					t.Errorf("g=%d: headline metrics differ:\n  got:  %s  want: %s",
+						g, gotHeadline, wantHeadline)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLeaderScalesSaturatedThroughput pins the tentpole's headline
+// result in the regime the paper's Figure 4 saturates the leader: with
+// enough clients that the single leader's CPU is the bottleneck, adding
+// ordering instances must raise 0/0 throughput monotonically, and no
+// operation may be lost along the way.
+func TestParallelLeaderScalesSaturatedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturated-throughput sweep is not short")
+	}
+	var last float64
+	for _, g := range []int{1, 2, 4} {
+		p := DefaultMicroParams()
+		p.Clients = 150
+		p.Warmup = 100 * time.Millisecond
+		p.Measure = 250 * time.Millisecond
+		p.Instances = g
+		res := RunMicro(p)
+		t.Logf("g=%d: throughput=%.0f ops/s latency=%v lost=%d", g, res.Throughput, res.Latency, res.Lost)
+		if res.Lost != 0 {
+			t.Fatalf("g=%d: lost %d operations", g, res.Lost)
+		}
+		if res.Throughput <= last {
+			t.Fatalf("g=%d: throughput %.0f ops/s not above g/2's %.0f ops/s (saturated scaling broken)",
+				g, res.Throughput, last)
+		}
+		last = res.Throughput
+	}
+}
+
+// TestSummarizeByInstance checks the per-instance breakdown plumbing on a
+// real multi-instance run: instances partition the complete spans, each
+// instance saw work, and at g=1 the single bucket matches Summarize.
+func TestSummarizeByInstance(t *testing.T) {
+	p := quickParams()
+	p.Clients = 8
+	p.Instances = 2
+	p.Trace = true
+	res := RunMicro(p)
+	spans := obs.AssembleSpans(res.Events)
+
+	whole := obs.Summarize(spans, p.Warmup)
+	parts := obs.SummarizeByInstance(spans, p.Warmup, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d breakdowns, want 2", len(parts))
+	}
+	total := 0
+	for i, bd := range parts {
+		if bd.Count == 0 {
+			t.Errorf("instance %d aggregated no spans", i)
+		}
+		total += bd.Count
+	}
+	if total != whole.Count {
+		t.Errorf("instance breakdowns cover %d spans, whole run has %d", total, whole.Count)
+	}
+
+	single := obs.SummarizeByInstance(spans, p.Warmup, 1)
+	if len(single) != 1 || single[0].Count != whole.Count || single[0].Total != whole.Total {
+		t.Errorf("g=1 breakdown %+v differs from Summarize %+v", single[0], whole)
+	}
+}

@@ -76,17 +76,19 @@ func (r *Replica) admitRequest(req *message.Request, raw []byte, d crypto.Digest
 	if r.inViewChange {
 		return
 	}
-	if r.isPrimary() {
+	leader := r.cfg.LeaderOf(r.view, instanceForDigest(d, r.cfg.groups()))
+	if leader == r.cfg.Self {
 		r.queue = append(r.queue, d)
 		r.trySendBatches()
 	} else if !buf.relayed && !(r.cfg.Opts.SeparateRequests && len(raw) > r.cfg.InlineThreshold) {
-		// A small request reaching a backup means the client missed the
-		// primary (stale view, or a retransmission): relay it. Large
-		// separately-transmitted bodies were multicast to the whole group,
-		// so the primary already has them — relaying those would burn the
-		// primary's inbound bandwidth (it is the 4/0 bottleneck).
+		// A small request reaching a non-leader means the client missed
+		// the request's instance leader (stale view, or a retransmission):
+		// relay it. Large separately-transmitted bodies were multicast to
+		// the whole group, so the leader already has them — relaying those
+		// would burn the leader's inbound bandwidth (it is the 4/0
+		// bottleneck).
 		buf.relayed = true
-		r.env.Send(r.cfg.PrimaryOf(r.view), raw)
+		r.env.Send(leader, raw)
 	}
 	r.syncVCTimer(false)
 }
@@ -126,7 +128,7 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 		r.resolveUnknownBatch(s, pp)
 		return
 	}
-	if r.inViewChange || pp.View != r.view || r.isPrimary() || !r.inWindow(pp.Seq) {
+	if r.inViewChange || pp.View != r.view || r.leadsSeq(pp.Seq) || !r.inWindow(pp.Seq) {
 		return
 	}
 	s := r.getSlot(pp.Seq)
@@ -178,7 +180,7 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 	}
 	batch := message.BatchDigestWith(r.suite, e, reqDigests)
 	content := message.OrderContentWithCommitsInto(e, pp.View, pp.Seq, batch, pp.Commits)
-	primary := r.cfg.PrimaryOf(pp.View)
+	primary := r.leaderOfSeq(pp.View, pp.Seq)
 	ok := r.suite.VerifyAuth(primary, pp.Auth, content)
 	r.enc.Put(e)
 	if !ok {
@@ -187,6 +189,9 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 	}
 
 	r.trace(obs.EvPrePrepareRecv, pp.Seq, pp.View, 0)
+	if pp.Seq > r.maxKnownPP {
+		r.maxKnownPP = pp.Seq
+	}
 	s.havePP = true
 	s.view = pp.View
 	s.batchDigest = batch
@@ -219,13 +224,15 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 		r.bodyFetchArmed = true
 		r.env.SetTimer(timerBodyFetch, r.cfg.StatusInterval/16)
 	}
+	// Another instance advancing may open a gap in our own slice.
+	r.fillInstanceGaps(r.ownInstance())
 	r.syncVCTimer(false)
 }
 
 // onSlotResolved fires once a slot has its pre-prepare and all bodies:
 // the backup multicasts its prepare and the ordering pipeline advances.
 func (r *Replica) onSlotResolved(s *slot) {
-	if !s.sentPrepare && !r.isPrimary() {
+	if !s.sentPrepare && !r.leadsSeq(s.seq) {
 		s.sentPrepare = true
 		prep := &message.Prepare{
 			View:    s.view,
@@ -263,13 +270,14 @@ func (r *Replica) onPrepare(p *message.Prepare) {
 
 // admitPrepare applies the cheap admissibility checks that precede
 // verification: current view, in-window sequence, and a plausible sender
-// (a backup other than this replica — the primary never sends prepares).
+// (a backup other than this replica — the slot's instance leader never
+// sends prepares for its own slice).
 func (r *Replica) admitPrepare(p *message.Prepare) bool {
 	if r.inViewChange || p.View != r.view || !r.inWindow(p.Seq) {
 		return false
 	}
 	sender := int(p.Replica)
-	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self || sender == r.cfg.PrimaryOf(p.View) {
+	if sender < 0 || sender >= r.cfg.N || sender == r.cfg.Self || sender == r.leaderOfSeq(p.View, p.Seq) {
 		r.stats.DroppedMessages++
 		return false
 	}
@@ -395,30 +403,35 @@ func (r *Replica) flushPiggybackCommits() {
 	}
 }
 
-// trySendBatches lets the primary assign sequence numbers to queued
-// requests, one batch per protocol instance, within the sliding window:
-// with e the last executed batch and W the window, the primary holds new
-// batches once lastPP >= e + W (the paper's batching rule).
+// trySendBatches lets an instance leader assign its slice's sequence
+// numbers to queued requests, one batch per ordering round, within the
+// sliding window: with e the last executed batch and W the window, the
+// leader holds new batches once its next seq would exceed e + W (the
+// paper's batching rule, applied per instance).
 func (r *Replica) trySendBatches() {
-	if !r.isPrimary() || r.inViewChange {
+	inst := r.ownInstance()
+	if inst < 0 || r.inViewChange {
 		return
 	}
 	window := r.cfg.Window
 	if !r.cfg.Opts.Batching {
-		// Without batching every request runs its own protocol instance
+		// Without batching every request runs its own ordering round
 		// immediately; parallelism is bounded only by the log window.
 		window = r.cfg.LogWindow / 2
 	}
+	stride := int64(r.cfg.groups())
 	for len(r.queue) > 0 {
-		if r.lastPP >= r.lastExec+window || r.lastPP >= r.lastStable+r.cfg.LogWindow {
-			return
+		next := r.instPP[inst] + stride
+		if next > r.lastExec+window || next > r.lastStable+r.cfg.LogWindow {
+			break
 		}
 		batch := r.nextBatch()
 		if len(batch) == 0 {
-			return
+			break
 		}
 		r.sendPrePrepare(batch)
 	}
+	r.fillInstanceGaps(inst)
 }
 
 // nextBatch pops requests off the queue up to the batch bounds, skipping
@@ -460,12 +473,19 @@ func (r *Replica) nextBatch() []*bufferedRequest {
 	return out
 }
 
-// sendPrePrepare assigns the next sequence number to a batch and multicasts
-// the pre-prepare. Small requests are inlined; large ones ride as digests
-// when separate request transmission is on.
+// sendPrePrepare assigns the next sequence number of this replica's
+// instance to a batch and multicasts the pre-prepare. Small requests are
+// inlined; large ones ride as digests when separate request transmission
+// is on. A nil batch orders an empty gap-filling batch (see
+// fillInstanceGaps); it flows through the ordinary three-phase protocol
+// and executes as a no-op.
 func (r *Replica) sendPrePrepare(batch []*bufferedRequest) {
-	r.lastPP++
-	seq := r.lastPP
+	inst := r.ownInstance()
+	r.instPP[inst] += int64(r.cfg.groups())
+	seq := r.instPP[inst]
+	if seq > r.maxKnownPP {
+		r.maxKnownPP = seq
+	}
 	refs := make([]message.RequestRef, len(batch))
 	reqDigests := make([]crypto.Digest, len(batch))
 	requests := make([]*message.Request, len(batch))

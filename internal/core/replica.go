@@ -63,7 +63,14 @@ type Replica struct {
 	vcTimerArmed  bool
 	statusStarted bool
 
-	lastPP            int64 // primary: sequence number of the last pre-prepare sent
+	// instPP[i] is the last sequence number assigned by ordering
+	// instance i (meaningful on its leader; reset group-wide at view
+	// changes). With Instances <= 1 it is a one-element slice holding the
+	// classic primary counter lastPP. maxKnownPP tracks the highest
+	// pre-prepare seq seen anywhere, which drives cross-instance gap
+	// filling (see instance.go).
+	instPP            []int64
+	maxKnownPP        int64
 	lastExec          int64 // last executed batch (tentative included)
 	lastCommittedExec int64
 	lastStable        int64
@@ -172,6 +179,12 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 			peers = append(peers, i)
 		}
 	}
+	// Instance i's first owned seq is i+1, so its counter starts one
+	// stride below that; at g = 1 this is the classic lastPP = 0.
+	instPP := make([]int64, cfg.groups())
+	for i := range instPP {
+		instPP[i] = int64(i+1) - int64(len(instPP))
+	}
 	return &Replica{
 		cfg:   cfg,
 		suite: crypto.NewSuite(keys, meter),
@@ -180,6 +193,7 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 		// Bootstrap provisioning installs keys at epoch 1; rotations must
 		// supersede it.
 		epoch:       1,
+		instPP:      instPP,
 		vcTimeout:   cfg.ViewChangeTimeout,
 		log:         make(map[int64]*slot),
 		missingBody: make(map[crypto.Digest][]int64),
@@ -424,6 +438,6 @@ func (r *Replica) DebugString() string {
 			unresolved++
 		}
 	}
-	return fmt.Sprintf("{pp=%d exec=%d comm=%d stable=%d queue=%d buf=%d inflight=%d slotsMissing=%d unres=%d}",
-		r.lastPP, r.lastExec, r.lastCommittedExec, r.lastStable, len(r.queue), len(r.reqBuffer), len(r.inFlight), missing, unresolved)
+	return fmt.Sprintf("{pp=%v exec=%d comm=%d stable=%d queue=%d buf=%d inflight=%d slotsMissing=%d unres=%d}",
+		r.instPP, r.lastExec, r.lastCommittedExec, r.lastStable, len(r.queue), len(r.reqBuffer), len(r.inFlight), missing, unresolved)
 }

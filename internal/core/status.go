@@ -138,7 +138,7 @@ func (r *Replica) statusTick() {
 			// latency merely exceeds the tick period — measured at 75% of
 			// primary egress in the 4 KB/0 microbenchmark at 200 clients,
 			// a self-sustaining collapse.
-			if r.isPrimary() {
+			if r.leadsSeq(s.seq) {
 				r.resendPrePrepare(s)
 			}
 		}
@@ -149,9 +149,9 @@ func (r *Replica) statusTick() {
 // still have not arrived once the grace period armed at pre-prepare
 // receipt expires (see onPrePrepare): by then a merely-late body would
 // have drained out of the queues, so what is still missing was genuinely
-// dropped. Fetches go to the primary only — it assembled the batch, so it
-// has every body — and are capped per firing; a remainder re-arms the
-// timer instead of bursting.
+// dropped. Fetches go to the slot's instance leader only — it assembled
+// the batch, so it has every body — and are capped per firing; a
+// remainder re-arms the timer instead of bursting.
 func (r *Replica) fetchLateBodies() {
 	if r.inViewChange {
 		return
@@ -183,7 +183,7 @@ func (r *Replica) fetchLateBodies() {
 		r.authScratch = r.suite.AuthInto(r.authScratch, r.cfg.N, f.AuthContentInto(e))
 		f.Auth = r.authScratch
 		r.enc.Put(e)
-		r.send(r.cfg.PrimaryOf(r.view), f)
+		r.send(r.leaderOfSeq(r.view, n), f)
 	}
 }
 

@@ -346,6 +346,7 @@ func buildGroup(t *testing.T, n int, clientIDs []int, mutate func(*Config)) *gro
 			Self:              id,
 			Opts:              g.replicas[0].cfg.Opts,
 			InlineThreshold:   g.replicas[0].cfg.InlineThreshold,
+			Instances:         g.replicas[0].cfg.Instances,
 			RetransmitTimeout: 150 * time.Millisecond,
 		}
 		cl, err := NewClient(ccfg, tables[n+j], nil)

@@ -17,7 +17,7 @@ func (r *Replica) mergePQSets() {
 		if !s.havePP || n <= r.lastStable {
 			continue
 		}
-		prePrepared := s.sentPrepare || r.cfg.PrimaryOf(s.view) == r.cfg.Self
+		prePrepared := s.sentPrepare || r.leaderOfSeq(s.view, n) == r.cfg.Self
 		if prePrepared {
 			if q, ok := r.qset[n]; !ok || s.view > q.View {
 				r.qset[n] = message.PQEntry{Seq: n, View: s.view, Digest: s.batchDigest}
@@ -599,10 +599,11 @@ func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
 		}
 		r.log[b.Seq] = s
 	}
-	r.lastPP = maxSeq
-	if r.lastExec > r.lastPP {
-		r.lastPP = r.lastExec
+	floor := maxSeq
+	if r.lastExec > floor {
+		floor = r.lastExec
 	}
+	r.resetInstanceCounters(floor)
 	r.inFlight = rebuildInFlight(r.log)
 	r.salvageRequests(oldLog)
 
@@ -622,7 +623,7 @@ func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
 		if s.committed {
 			continue
 		}
-		if r.isPrimary() {
+		if r.leadsSeq(n) {
 			r.advance(s)
 		} else {
 			r.onSlotResolved(s)
@@ -630,11 +631,13 @@ func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
 	}
 
 	// Requests that were in flight under the old view may have fallen out;
-	// re-queue everything still buffered for the (possibly new) primary.
-	if r.isPrimary() {
+	// re-queue everything still buffered that belongs to an instance this
+	// replica now leads (at g = 1: everything, on the new primary).
+	if inst := r.ownInstance(); inst >= 0 {
+		g := r.cfg.groups()
 		r.queue = r.queue[:0]
 		for d := range r.reqBuffer {
-			if _, assigned := r.inFlight[d]; !assigned {
+			if _, assigned := r.inFlight[d]; !assigned && instanceForDigest(d, g) == inst {
 				r.queue = append(r.queue, d)
 			}
 		}
@@ -657,10 +660,10 @@ func (r *Replica) enterNewView(nv *message.NewView, stableD crypto.Digest) {
 // if the new view decided a different batch for that sequence (e.g. after
 // a primary equivocated), rebuilding the log would otherwise drop those
 // requests and liveness would stall until clients retransmit. Backups also
-// relay small salvaged bodies to the new primary, which may never have
-// seen them.
+// relay small salvaged bodies to each request's new instance leader, which
+// may never have seen them.
 func (r *Replica) salvageRequests(oldLog map[int64]*slot) {
-	primary := r.cfg.PrimaryOf(r.view)
+	g := r.cfg.groups()
 	// Walk superseded slots in ascending sequence order, not map order:
 	// the relays below hit the wire, and send order is part of the
 	// determinism contract.
@@ -687,10 +690,11 @@ func (r *Replica) salvageRequests(oldLog map[int64]*slot) {
 			}
 			raw := message.Marshal(req)
 			r.reqBuffer[d] = &bufferedRequest{req: req, raw: raw, digest: d, relayed: true}
-			if !r.isPrimary() && !(r.cfg.Opts.SeparateRequests && len(raw) > r.cfg.InlineThreshold) {
+			leader := r.cfg.LeaderOf(r.view, instanceForDigest(d, g))
+			if leader != r.cfg.Self && !(r.cfg.Opts.SeparateRequests && len(raw) > r.cfg.InlineThreshold) {
 				// Send buffers hand ownership to the environment; the
 				// buffered copy stays ours.
-				r.env.Send(primary, append([]byte(nil), raw...))
+				r.env.Send(leader, append([]byte(nil), raw...))
 			}
 		}
 	}
