@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint docs-check test test-race test-adversary fuzz-smoke bench bench-host breakdown figures fs-figures examples clean
+.PHONY: all build lint docs-check test test-race test-adversary fuzz-smoke telemetry-smoke bench bench-host breakdown figures fs-figures examples clean
 
 all: build lint docs-check test
 
@@ -70,6 +70,16 @@ fuzz-smoke:
 		echo "--- fuzz $$f ($(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/message; \
 	done
+
+# End-to-end smoke of the host telemetry plane (DESIGN.md §11): boots a
+# real 4-replica UDP group with -telemetry and -flight, drives operations
+# through bft-kv, asserts on the /metrics scrape (series count, committed
+# ops, zero drops), renders a bft-top frame, dumps the flight ring via
+# SIGQUIT and decodes it with bft-trace, then checks clean SIGTERM
+# shutdown. Artifacts land in TELEMETRY_OUT for CI upload.
+TELEMETRY_OUT ?= $(CURDIR)/telemetry-artifacts
+telemetry-smoke:
+	sh tools/telemetry-smoke.sh $(TELEMETRY_OUT)
 
 # Every paper figure at reduced resolution (a few minutes).
 bench:

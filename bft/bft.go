@@ -36,10 +36,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"bftfast/internal/core"
 	"bftfast/internal/crypto"
+	"bftfast/internal/obs"
+	"bftfast/internal/obs/telemetry"
 	"bftfast/internal/proc"
 	"bftfast/internal/transport"
 	"bftfast/internal/verifypool"
@@ -68,7 +71,18 @@ type (
 	// Env is the environment abstraction handed to EnvAware state
 	// machines (useful for simulations that model execution cost).
 	Env = proc.Env
+	// Metric is one entry of a telemetry snapshot (see MetricsSnapshot).
+	Metric = obs.Metric
+	// TraceEvent is one flight-recorder record (see FlightEvents).
+	TraceEvent = obs.Event
 )
+
+// NewTraceRecorder returns a bounded trace ring for Config.Trace: the
+// replica's protocol trace and, at runtime, its flight recorder. The
+// ring must be private to the replica it is handed to.
+func NewTraceRecorder(node, capacity int) *obs.Recorder {
+	return obs.NewRecorder(int32(node), capacity)
+}
 
 // DefaultConfig returns the paper's standard replica configuration (all
 // optimizations except piggybacked commits) for a group of n replicas.
@@ -131,11 +145,28 @@ func NewUDPNetwork(addrs map[int]string) (*transport.UDPNetwork, error) {
 type Replica struct {
 	engine *core.Replica
 	node   *transport.Node
+	net    Network
+	cfg    Config
+	reg    *obs.Registry
+	flight *obs.Recorder // the cfg.Trace ring; nil when tracing is off
+
+	mu         sync.Mutex
+	telemetry  *telemetry.Server
+	flightPath string
 }
 
 // StartReplica launches a replica for cfg on the given network. The
 // keyring must be provisioned (see Provision) and owned by cfg.Self.
+//
+// Every replica carries a metrics registry (engine counters, per-phase
+// latency histograms, transport and process gauges) readable through
+// MetricsSnapshot or served over HTTP with ServeTelemetry. Setting
+// cfg.Trace additionally arms the flight recorder (see SetFlightDump).
 func StartReplica(cfg Config, sm StateMachine, keys *Keyring, net Network) (*Replica, error) {
+	reg := obs.NewRegistry()
+	if cfg.Phases == nil {
+		cfg.Phases = obs.NewPhaseTracker(reg, "phase.")
+	}
 	engine, err := core.NewReplica(cfg, sm, keys, nil, nil)
 	if err != nil {
 		return nil, err
@@ -144,7 +175,9 @@ func StartReplica(cfg Config, sm StateMachine, keys *Keyring, net Network) (*Rep
 	if err != nil {
 		return nil, err
 	}
-	return &Replica{engine: engine, node: node}, nil
+	r := &Replica{engine: engine, node: node, net: net, cfg: cfg, flight: cfg.Trace}
+	r.initRegistry(reg)
+	return r, nil
 }
 
 // StartReplicaPipelined is StartReplica with the multicore host pipeline:
@@ -160,6 +193,10 @@ func StartReplica(cfg Config, sm StateMachine, keys *Keyring, net Network) (*Rep
 // free-list.
 func StartReplicaPipelined(cfg Config, sm StateMachine, keys *Keyring, net Network, workers int) (*Replica, error) {
 	cfg.BatchReplyDigests = true
+	reg := obs.NewRegistry()
+	if cfg.Phases == nil {
+		cfg.Phases = obs.NewPhaseTracker(reg, "phase.")
+	}
 	engine, err := core.NewReplica(cfg, sm, keys, nil, nil)
 	if err != nil {
 		return nil, err
@@ -171,7 +208,9 @@ func StartReplicaPipelined(cfg Config, sm StateMachine, keys *Keyring, net Netwo
 	if err != nil {
 		return nil, err
 	}
-	return &Replica{engine: engine, node: node}, nil
+	r := &Replica{engine: engine, node: node, net: net, cfg: cfg, flight: cfg.Trace}
+	r.initRegistry(reg)
+	return r, nil
 }
 
 // Stats returns a snapshot of the replica's progress counters, taken on
@@ -205,13 +244,34 @@ func (r *Replica) ScheduleRecovery(d time.Duration) {
 	_ = r.node.Do(func() { r.engine.ScheduleRecovery(d) })
 }
 
-// Close stops the replica.
-func (r *Replica) Close() { r.node.Close() }
+// Close stops the replica, in dependency order: the telemetry server
+// first (so no scrape runs against a dead node), then a final flight
+// flush while the event loop still answers, then the event loop itself.
+// The caller closes the network last.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	srv := r.telemetry
+	r.telemetry = nil
+	path := r.flightPath
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if path != "" && r.flight != nil {
+		_, _ = r.DumpFlight()
+	}
+	r.node.Close()
+}
 
 // Client invokes operations on the replicated service.
 type Client struct {
 	engine *core.Client
 	node   *transport.Node
+	reg    *obs.Registry
+	self   int
+
+	mu        sync.Mutex
+	telemetry *telemetry.Server
 }
 
 // StartClient launches a client on the given network.
@@ -224,7 +284,10 @@ func StartClient(cfg ClientConfig, keys *Keyring, net Network) (*Client, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Client{engine: engine, node: node}, nil
+	c := &Client{engine: engine, node: node, reg: obs.NewRegistry(), self: cfg.Self}
+	engine.RegisterMetrics(c.reg, "client.")
+	node.RegisterMetrics(c.reg, "transport.")
+	return c, nil
 }
 
 // Invoke executes op on the replicated service and returns its result.
@@ -259,6 +322,16 @@ func (c *Client) Stats() ClientCounters {
 	return out
 }
 
-// Close stops the client. Outstanding Invoke calls never complete after
-// Close; cancel their contexts.
-func (c *Client) Close() { c.node.Close() }
+// Close stops the client (telemetry server first, then the event loop).
+// Outstanding Invoke calls never complete after Close; cancel their
+// contexts.
+func (c *Client) Close() {
+	c.mu.Lock()
+	srv := c.telemetry
+	c.telemetry = nil
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	c.node.Close()
+}

@@ -26,6 +26,7 @@ func main() {
 	keysPath := flag.String("keys", "", "keyring file from bft-keygen")
 	peersFlag := flag.String("peers", "", "node address table: id=host:port,...")
 	timeout := flag.Duration("timeout", 10*time.Second, "operation timeout")
+	telemetryAddr := flag.String("telemetry", "", "serve client /metrics and pprof on this host:port for the run (empty: disabled)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -82,6 +83,13 @@ func main() {
 		log.Fatalf("bft-kv: %v", err)
 	}
 	defer client.Close()
+	if *telemetryAddr != "" {
+		bound, err := client.ServeTelemetry(*telemetryAddr)
+		if err != nil {
+			log.Fatalf("bft-kv: %v", err)
+		}
+		log.Printf("client %d telemetry on http://%s/metrics", *id, bound)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

@@ -9,6 +9,13 @@
 //
 // The peer table maps every node id (replicas and clients) to a UDP
 // address; each process binds only its own entry.
+//
+// With -telemetry the process serves its live telemetry plane over HTTP
+// (/metrics, /healthz, /statusz, /debug/pprof/, /flight); bft-top
+// aggregates a fleet of such endpoints. With -flight the replica keeps a
+// bounded ring of recent protocol events and dumps it as a BFTTRC01 file
+// (readable by bft-trace -decode) on SIGQUIT, on an engine panic, and on
+// shutdown.
 package main
 
 import (
@@ -29,6 +36,10 @@ func main() {
 	replicas := flag.Int("replicas", 4, "group size (3f+1)")
 	keysPath := flag.String("keys", "", "keyring file from bft-keygen")
 	peersFlag := flag.String("peers", "", "node address table: id=host:port,...")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /statusz and pprof on this host:port (empty: disabled)")
+	flightCap := flag.Int("flight", 0, "flight-recorder ring capacity in events (0: disabled)")
+	flightDump := flag.String("flight-dump", "", "BFTTRC01 dump path for the flight recorder (default <keys dir>/flight-<id>.bfttrc)")
+	verifyWorkers := flag.Int("verify-workers", 0, "MAC verification workers; 0: serial in the event loop, -1: one per core")
 	flag.Parse()
 
 	addrs, err := parsePeers(*peersFlag)
@@ -50,24 +61,61 @@ func main() {
 	}
 	defer network.Close()
 
-	replica, err := bft.StartReplica(bft.DefaultConfig(*replicas, *id), kvservice.New(), ring, network)
+	cfg := bft.DefaultConfig(*replicas, *id)
+	if *flightCap > 0 {
+		cfg.Trace = bft.NewTraceRecorder(*id, *flightCap)
+	}
+	var replica *bft.Replica
+	if *verifyWorkers != 0 {
+		workers := *verifyWorkers
+		if workers < 0 {
+			workers = 0 // verifypool: one per core
+		}
+		replica, err = bft.StartReplicaPipelined(cfg, kvservice.New(), ring, network, workers)
+	} else {
+		replica, err = bft.StartReplica(cfg, kvservice.New(), ring, network)
+	}
 	if err != nil {
 		log.Fatalf("bft-replica: %v", err)
 	}
 	defer replica.Close()
 	log.Printf("replica %d of %d serving on %s", *id, *replicas, addrs[*id])
 
+	if *flightCap > 0 {
+		path := *flightDump
+		if path == "" {
+			path = fmt.Sprintf("flight-%d.bfttrc", *id)
+		}
+		replica.SetFlightDump(path)
+	}
+	if *telemetryAddr != "" {
+		bound, err := replica.ServeTelemetry(*telemetryAddr)
+		if err != nil {
+			log.Fatalf("bft-replica: %v", err)
+		}
+		log.Printf("replica %d telemetry on http://%s/metrics", *id, bound)
+	}
+
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	tick := time.NewTicker(30 * time.Second)
 	defer tick.Stop()
 	for {
 		select {
+		case <-quit:
+			// SIGQUIT dumps the flight ring and keeps serving.
+			if path, err := replica.DumpFlight(); err != nil {
+				log.Printf("replica %d: flight dump failed: %v", *id, err)
+			} else {
+				log.Printf("replica %d: flight ring dumped to %s", *id, path)
+			}
 		case <-sig:
 			log.Printf("replica %d shutting down: %+v", *id, replica.Stats())
 			return
 		case <-tick.C:
-			log.Printf("replica %d: view=%d stats=%+v", *id, replica.View(), replica.Stats())
+			log.Printf("replica %d: view=%d stats=%+v host=%+v", *id, replica.View(), replica.Stats(), replica.HostStats())
 		}
 	}
 }

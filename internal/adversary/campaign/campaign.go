@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"time"
 
 	"bftfast/internal/adversary"
@@ -29,6 +30,7 @@ import (
 	"bftfast/internal/kvservice"
 	"bftfast/internal/linearizability"
 	"bftfast/internal/obs"
+	"bftfast/internal/obs/telemetry"
 	"bftfast/internal/proc"
 	"bftfast/internal/sim"
 )
@@ -79,6 +81,12 @@ type Row struct {
 	Factor    float64       `json:"factor"`
 	MinFactor float64       `json:"min_factor"`
 	Breakdown obs.Breakdown `json:"breakdown"`
+
+	// Events is the attacked run's merged protocol trace, kept out of the
+	// JSON summary; DumpFlight writes it as a BFTTRC01 file when the row
+	// fails its assertions, so a red campaign leaves the same post-mortem
+	// artifact a crashed server does.
+	Events []obs.Event `json:"-"`
 }
 
 // Result is a full campaign outcome.
@@ -139,6 +147,7 @@ func Run(p Params) *Result {
 			row.Factor = row.Attacked / row.Baseline
 		}
 		row.Breakdown = obs.Summarize(obs.AssembleSpans(attRes.Events), att.Warmup)
+		row.Events = attRes.Events
 		res.Rows = append(res.Rows, row)
 	}
 	return res
@@ -168,25 +177,52 @@ func livenessParams(p Params) bench.MicroParams {
 	return mp
 }
 
+// checkRow applies the acceptance assertions to one behavior's row.
+func checkRow(row *Row) error {
+	if row.Safety.Violation != "" {
+		return fmt.Errorf("campaign: behavior %s: safety violated: %s", row.Behavior, row.Safety.Violation)
+	}
+	if !row.Safety.Completed {
+		return fmt.Errorf("campaign: behavior %s: scripted clients did not finish (liveness lost entirely)", row.Behavior)
+	}
+	if row.Safety.Agreeing < 2 {
+		return fmt.Errorf("campaign: behavior %s: only %d correct replicas agree at the executed frontier",
+			row.Behavior, row.Safety.Agreeing)
+	}
+	if row.Factor < row.MinFactor {
+		return fmt.Errorf("campaign: behavior %s: throughput factor %.3f below floor %.2f (attacked %.0f vs baseline %.0f ops/s)",
+			row.Behavior, row.Factor, row.MinFactor, row.Attacked, row.Baseline)
+	}
+	return nil
+}
+
 // Check applies the campaign's acceptance assertions to a Result.
 func (r *Result) Check() error {
-	for _, row := range r.Rows {
-		if row.Safety.Violation != "" {
-			return fmt.Errorf("campaign: behavior %s: safety violated: %s", row.Behavior, row.Safety.Violation)
-		}
-		if !row.Safety.Completed {
-			return fmt.Errorf("campaign: behavior %s: scripted clients did not finish (liveness lost entirely)", row.Behavior)
-		}
-		if row.Safety.Agreeing < 2 {
-			return fmt.Errorf("campaign: behavior %s: only %d correct replicas agree at the executed frontier",
-				row.Behavior, row.Safety.Agreeing)
-		}
-		if row.Factor < row.MinFactor {
-			return fmt.Errorf("campaign: behavior %s: throughput factor %.3f below floor %.2f (attacked %.0f vs baseline %.0f ops/s)",
-				row.Behavior, row.Factor, row.MinFactor, row.Attacked, row.Baseline)
+	for i := range r.Rows {
+		if err := checkRow(&r.Rows[i]); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// DumpFlight writes the attacked-run trace of every failing row under dir
+// as flight-<behavior>.bfttrc (BFTTRC01, readable by bft-trace -decode)
+// and returns the paths written. A fully green campaign writes nothing.
+func (r *Result) DumpFlight(dir string) ([]string, error) {
+	var paths []string
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if checkRow(row) == nil || len(row.Events) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("flight-%s.bfttrc", row.Behavior))
+		if err := telemetry.WriteDump(path, row.Events); err != nil {
+			return paths, fmt.Errorf("campaign: dumping %s trace: %w", row.Behavior, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }
 
 // Tables renders the campaign as printable tables: the safety/liveness

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"bftfast/internal/adversary"
+	"bftfast/internal/obs"
 )
 
 // campaignSeed returns the campaign seed, honoring the BFT_CHAOS_SEED
@@ -95,6 +96,39 @@ func TestParallelLeaderByzantineInstance(t *testing.T) {
 	}
 }
 
+// TestDumpFlight checks the failure artifact path: failing rows dump
+// their traces as decodable BFTTRC01 files, passing rows dump nothing.
+func TestDumpFlight(t *testing.T) {
+	res := &Result{Rows: []Row{
+		{Behavior: "flood_garbage", Factor: 0.1, MinFactor: 0.3, // fails the floor
+			Safety: SafetyReport{Completed: true, Agreeing: 3},
+			Events: []obs.Event{{Kind: obs.EvExecuted, Seq: 1}, {Kind: obs.EvExecuted, Seq: 2}}},
+		{Behavior: "delay_reorder", Factor: 0.9, MinFactor: 0.2, // passes
+			Safety: SafetyReport{Completed: true, Agreeing: 3},
+			Events: []obs.Event{{Kind: obs.EvExecuted, Seq: 3}}},
+	}}
+	dir := t.TempDir()
+	paths, err := res.DumpFlight(dir)
+	if err != nil {
+		t.Fatalf("DumpFlight: %v", err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "flight-flood_garbage.bfttrc" {
+		t.Fatalf("paths = %v, want one dump for the failing row", paths)
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("dump not decodable: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+}
+
 // TestCampaign runs the full sweep at reduced scale and applies the
 // campaign's own acceptance assertions.
 func TestCampaign(t *testing.T) {
@@ -109,6 +143,15 @@ func TestCampaign(t *testing.T) {
 		t.Logf("seed=%d\n%s", seed, buf.String())
 	}
 	if err := res.Check(); err != nil {
+		// A failing assertion leaves its attacked-run trace behind as a
+		// flight dump (bft-trace -decode) when an artifact dir is set.
+		if dir := os.Getenv("BFT_CAMPAIGN_OUT"); dir != "" {
+			if paths, derr := res.DumpFlight(dir); derr != nil {
+				t.Logf("seed=%d: flight dump failed: %v", seed, derr)
+			} else {
+				t.Logf("seed=%d: flight dumps: %v", seed, paths)
+			}
+		}
 		t.Fatalf("seed=%d: %v", seed, err)
 	}
 	var buf bytes.Buffer

@@ -47,11 +47,12 @@ const obsPkgPath = "bftfast/internal/obs"
 
 // hookTypes are the obs types held behind nil-able hook fields.
 var hookTypes = map[string]bool{
-	"Recorder":  true,
-	"Registry":  true,
-	"Counter":   true,
-	"Gauge":     true,
-	"Histogram": true,
+	"Recorder":     true,
+	"Registry":     true,
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"PhaseTracker": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -98,3 +98,19 @@ func (a *alwaysOn) hot(now time.Duration) {
 	//bftvet:allow:hookgate rec is set unconditionally by the only constructor
 	a.rec.Record(now, 0, 4, 0, 0)
 }
+
+// Violation: phase-tracker hooks follow the same contract as recorders.
+type phased struct {
+	phases *obs.PhaseTracker
+}
+
+func (p *phased) executed(seq int64, now time.Duration) {
+	p.phases.Executed(seq, now) // want `obs\.PhaseTracker hook p\.phases\.Executed called without a nil check`
+}
+
+// Legal: the canonical gate.
+func (p *phased) committed(seq int64, now time.Duration) {
+	if p.phases != nil {
+		p.phases.Committed(seq, now)
+	}
+}

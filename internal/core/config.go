@@ -160,6 +160,12 @@ type Config struct {
 	// recorder must be private to this replica: it is written from the
 	// engine's event context without synchronization.
 	Trace *obs.Recorder
+
+	// Phases receives per-batch ordering-phase durations for the live
+	// telemetry plane (obs.PhaseTracker); nil disables phase recording
+	// under the same nil-gated zero-allocation hook contract as Trace.
+	// Like the recorder, it must be private to this replica.
+	Phases *obs.PhaseTracker
 }
 
 // DefaultConfig returns the paper's standard configuration for n replicas.

@@ -189,6 +189,9 @@ func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
 	}
 
 	r.trace(obs.EvPrePrepareRecv, pp.Seq, pp.View, 0)
+	if r.phases != nil {
+		r.phases.PrePrepare(pp.Seq, r.env.Now())
+	}
 	if pp.Seq > r.maxKnownPP {
 		r.maxKnownPP = pp.Seq
 	}
@@ -354,6 +357,9 @@ func (r *Replica) advance(s *slot) {
 	f := r.cfg.F()
 	if s.checkPrepared(f) && !s.sentCommit {
 		r.trace(obs.EvPrepared, s.seq, s.view, 0)
+		if r.phases != nil {
+			r.phases.Prepared(s.seq, r.env.Now())
+		}
 		s.sentCommit = true
 		s.addCommit(s.batchDigest, int32(r.cfg.Self))
 		if r.cfg.Opts.PiggybackCommits {
@@ -509,6 +515,9 @@ func (r *Replica) sendPrePrepare(batch []*bufferedRequest) {
 	r.enc.Put(e)
 	r.broadcast(pp)
 	r.trace(obs.EvPrePrepareSent, seq, r.view, int64(len(batch)))
+	if r.phases != nil {
+		r.phases.PrePrepare(seq, r.env.Now())
+	}
 
 	s := r.getSlot(seq)
 	s.havePP = true

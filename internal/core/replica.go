@@ -129,8 +129,14 @@ type Replica struct {
 	execResults [][]byte
 	execDigests []crypto.Digest
 
-	rec   *obs.Recorder // nil disables tracing
-	stats Counters
+	rec    *obs.Recorder    // nil disables tracing
+	phases *obs.PhaseTracker // nil disables live phase histograms
+	stats  Counters
+
+	// statusHeard[i] is the last Env.Now a status message arrived from
+	// replica i — the peer-liveness signal surfaced by /statusz. Purely
+	// observational: nothing in the protocol reads it.
+	statusHeard []time.Duration
 }
 
 // trace records one protocol event stamped with the engine's current time.
@@ -209,6 +215,8 @@ func NewReplica(cfg Config, sm StateMachine, keys *crypto.KeyTable, meter crypto
 		stChunks:    make(map[int64]*chunkedSnapshot),
 		peers:       peers,
 		rec:         cfg.Trace,
+		phases:      cfg.Phases,
+		statusHeard: make([]time.Duration, cfg.N),
 	}, nil
 }
 
@@ -241,6 +249,25 @@ func (r *Replica) View() int64 { return r.view }
 
 // LastExecuted returns the last executed batch sequence number.
 func (r *Replica) LastExecuted() int64 { return r.lastExec }
+
+// LastStable returns the replica's stable checkpoint sequence number.
+func (r *Replica) LastStable() int64 { return r.lastStable }
+
+// Instances returns the number of ordering instances g (never below 1).
+func (r *Replica) Instances() int { return r.cfg.groups() }
+
+// LeadsInstance reports whether this replica leads ordering instance inst
+// in its current view (see Config.LeaderOf).
+func (r *Replica) LeadsInstance(inst int) bool {
+	return inst >= 0 && inst < r.cfg.groups() && r.cfg.LeaderOf(r.view, inst) == r.cfg.Self
+}
+
+// PeerHeard appends, per replica id, the last Env.Now a status message
+// arrived from that peer (zero: never; the self entry is always zero).
+// Like Stats it must run in the node's event context.
+func (r *Replica) PeerHeard(dst []time.Duration) []time.Duration {
+	return append(dst, r.statusHeard...)
+}
 
 // StateMachine returns the replicated service instance (for inspection in
 // tests and examples).

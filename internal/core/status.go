@@ -355,6 +355,7 @@ func (r *Replica) onStatus(s *message.Status) {
 		r.stats.DroppedMessages++
 		return
 	}
+	r.statusHeard[sender] = r.env.Now()
 
 	// The peer is ahead: if it garbage collected what we still need, fetch
 	// state instead of waiting for messages that will never come.

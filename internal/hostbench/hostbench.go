@@ -45,6 +45,8 @@ var Benchmarks = []Bench{
 	{"SimKernelChurn", BenchSimKernelChurn},
 	{"TraceRecord", BenchTraceRecord},
 	{"HistogramObserve", BenchHistogramObserve},
+	{"PhaseTrackerObserve", BenchPhaseTrackerObserve},
+	{"PrometheusRender", BenchPrometheusRender},
 	{"EndToEndFigure4Point", BenchEndToEndFigure4Point},
 }
 

@@ -1,0 +1,65 @@
+package hostbench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bftfast/internal/obs"
+	"bftfast/internal/obs/telemetry"
+)
+
+// TestPhaseHookAllocs pins the phase-tracker hook to the same contract as
+// the trace hooks: disabled (nil tracker) is a bare branch, and enabled is
+// a slot write plus histogram observations — zero heap allocations on both
+// sides, including across slot eviction, the steady state of a long run.
+func TestPhaseHookAllocs(t *testing.T) {
+	var disabled *obs.PhaseTracker
+	now := time.Duration(0)
+	if got := allocs(func() {
+		if disabled != nil {
+			disabled.Executed(1, now)
+		}
+	}); got != 0 {
+		t.Errorf("disabled phase hook: %v allocs/op, want 0", got)
+	}
+
+	reg := obs.NewRegistry()
+	tr := obs.NewPhaseTracker(reg, "phase.")
+	seq := int64(0)
+	if got := allocs(func() {
+		// Stride past the slot-ring size so eviction accounting runs too.
+		seq += 257
+		at := time.Duration(seq) * time.Microsecond
+		tr.PrePrepare(seq, at)
+		tr.Prepared(seq, at+time.Microsecond)
+		tr.Committed(seq, at+2*time.Microsecond)
+		tr.Executed(seq, at+3*time.Microsecond)
+	}); got != 0 {
+		t.Errorf("enabled phase hook: %v allocs/op, want 0", got)
+	}
+}
+
+// TestScrapeAllocsBounded bounds the cold path: one full /metrics scrape
+// (registry snapshot plus Prometheus render) of a replica-shaped registry
+// must stay within a fixed allocation budget, so a tight scrape loop
+// cannot become a GC problem for the replica host.
+func TestScrapeAllocsBounded(t *testing.T) {
+	reg := telemetryRegistry()
+	labels := map[string]string{"node": "0", "role": "replica"}
+	var buf bytes.Buffer
+	got := allocs(func() {
+		buf.Reset()
+		if err := telemetry.WritePrometheus(&buf, "bft", labels, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~25 series render in well under 300 allocations today; 1000 leaves
+	// headroom while still catching accidental per-sample blowups.
+	if got > 1000 {
+		t.Errorf("scrape path: %v allocs/op, want <= 1000", got)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("scrape rendered nothing")
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseTrackerObserves(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPhaseTracker(reg, "phase.")
+
+	for seq := int64(1); seq <= 10; seq++ {
+		base := time.Duration(seq) * time.Millisecond
+		tr.PrePrepare(seq, base)
+		tr.Prepared(seq, base+100*time.Microsecond)
+		tr.Committed(seq, base+300*time.Microsecond)
+		tr.Executed(seq, base+400*time.Microsecond)
+	}
+
+	for _, name := range []string{"phase.prepare_ns", "phase.commit_ns", "phase.execute_ns"} {
+		m, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		if m.Kind != KindHistogram || m.Count != 10 {
+			t.Errorf("%s: kind=%v count=%d, want histogram with 10 samples", name, m.Kind, m.Count)
+		}
+	}
+	prep, _ := reg.Get("phase.prepare_ns")
+	exec, _ := reg.Get("phase.execute_ns")
+	if prep.P50 >= exec.P50 {
+		t.Errorf("prepare P50 %d should be below execute P50 %d", prep.P50, exec.P50)
+	}
+	if missed, _ := reg.Get("phase.missed"); missed.Value != 0 {
+		t.Errorf("missed = %d, want 0", missed.Value)
+	}
+}
+
+func TestPhaseTrackerRemarkKeepsFirstInstant(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPhaseTracker(reg, "p.")
+	tr.PrePrepare(7, 1*time.Millisecond)
+	tr.PrePrepare(7, 5*time.Millisecond) // view-change reissue must not move the start
+	tr.Prepared(7, 2*time.Millisecond)
+	m, _ := reg.Get("p.prepare_ns")
+	if m.Count != 1 || m.Max != int64(time.Millisecond) {
+		t.Errorf("prepare hist count=%d max=%d, want 1 sample of 1ms", m.Count, m.Max)
+	}
+}
+
+func TestPhaseTrackerEviction(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewPhaseTracker(reg, "p.")
+	tr.PrePrepare(1, time.Millisecond)
+	// Seq 1+phaseSlots hashes to the same slot and evicts seq 1.
+	tr.PrePrepare(1+phaseSlots, 2*time.Millisecond)
+	tr.Executed(1, 3*time.Millisecond)
+	if tr.Missed() != 1 {
+		t.Fatalf("Missed = %d, want 1 after eviction", tr.Missed())
+	}
+	m, _ := reg.Get("p.execute_ns")
+	if m.Count != 0 {
+		t.Errorf("evicted batch still observed: count = %d", m.Count)
+	}
+	// The evicting batch itself observes normally.
+	tr.Executed(1+phaseSlots, 5*time.Millisecond)
+	if m, _ := reg.Get("p.execute_ns"); m.Count != 1 {
+		t.Errorf("evicting batch not observed: count = %d", m.Count)
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bftfast/internal/obs"
+)
+
+// TestFlightRoundTrip writes a recorder's ring through the flight
+// recorder and reads it back with obs.ReadTrace — the BFTTRC01 dump /
+// decode pair bft-trace relies on.
+func TestFlightRoundTrip(t *testing.T) {
+	rec := obs.NewRecorder(3, 64)
+	for i := int64(1); i <= 5; i++ {
+		rec.Record(time.Duration(i)*time.Millisecond, obs.EvExecuted, i, 0, 0)
+	}
+	path := filepath.Join(t.TempDir(), "flight.bfttrc")
+	fr := NewFlightRecorder(func() []obs.Event { return rec.Events(nil) }, path)
+
+	got, err := fr.Dump()
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if got != path {
+		t.Errorf("Dump returned %q, want %q", got, path)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening dump: %v", err)
+	}
+	defer file.Close()
+	events, err := obs.ReadTrace(file)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("round-trip returned %d events, want 5", len(events))
+	}
+	for i, e := range events {
+		want := obs.Event{At: time.Duration(i+1) * time.Millisecond,
+			Seq: int64(i + 1), Node: 3, Kind: obs.EvExecuted}
+		if e != want {
+			t.Errorf("event %d = %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+func TestFlightDumpEmptyRing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bfttrc")
+	fr := NewFlightRecorder(func() []obs.Event { return nil }, path)
+	if _, err := fr.Dump(); err != nil {
+		t.Fatalf("Dump of empty ring: %v", err)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening dump: %v", err)
+	}
+	defer file.Close()
+	events, err := obs.ReadTrace(file)
+	if err != nil {
+		t.Fatalf("empty dump not decodable: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty ring decoded to %d events", len(events))
+	}
+}
+
+func TestFlightDumpNoPath(t *testing.T) {
+	fr := NewFlightRecorder(func() []obs.Event { return nil }, "")
+	if _, err := fr.Dump(); err == nil {
+		t.Fatal("Dump with no path succeeded, want error")
+	}
+	// DumpTo needs no path.
+	var buf bytes.Buffer
+	if err := fr.DumpTo(&buf); err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	if _, err := obs.ReadTrace(&buf); err != nil {
+		t.Fatalf("DumpTo stream not decodable: %v", err)
+	}
+}
+
+func TestWriteDumpLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.bfttrc")
+	if err := WriteDump(path, []obs.Event{{Kind: obs.EvExecuted, Seq: 1}}); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}

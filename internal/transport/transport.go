@@ -82,6 +82,10 @@ type Node struct {
 	// drops counts datagrams and timer expiries discarded because the
 	// inbox was full; post runs on arbitrary goroutines, hence atomic.
 	drops atomic.Int64
+
+	// crashDump, when set, runs on the loop goroutine if the handler
+	// panics, before the panic resumes (see SetCrashDump).
+	crashDump atomic.Value // func()
 }
 
 // nodeEnv is the proc.Env exposed to the handler; all its methods run on
@@ -222,11 +226,34 @@ func (n *Node) postEnvelope(e *verifypool.Envelope) {
 // Dropped reports how many events were discarded on a full inbox.
 func (n *Node) Dropped() int64 { return n.drops.Load() }
 
+// Done returns a channel closed when the node stops. Waiters on injected
+// actions select on it alongside their own completion signal: Do can
+// succeed in enqueueing just before Close, in which case the action never
+// runs and only Done unblocks the waiter.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// Uptime returns the wall-clock time since the node started — the same
+// clock its proc.Env.Now serves the engine, so engine-recorded instants
+// (e.g. core.Replica.PeerHeard) compare directly against it.
+func (n *Node) Uptime() time.Duration { return time.Since(n.start) }
+
 // RegisterMetrics exposes the node's transport counters under prefix
 // (e.g. "node3."). The gauges are atomics and safe to snapshot while the
 // node runs.
 func (n *Node) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"inbox_drops", n.drops.Load)
+	reg.GaugeFunc(prefix+"inbox_depth", func() int64 { return int64(len(n.inbox)) })
+}
+
+// SetCrashDump installs a hook that runs on the loop goroutine when a
+// handler panic escapes, before the panic resumes. Because the loop is
+// the engine's only writer, the hook may read engine state (the trace
+// ring, counters) directly — this is how hosts flush the flight recorder
+// on a crash. The hook must not panic itself; the original panic value is
+// re-raised unchanged so crash semantics (exit status, stack trace) are
+// preserved.
+func (n *Node) SetCrashDump(fn func()) {
+	n.crashDump.Store(fn)
 }
 
 // Do runs fn on the node's event loop (used to inject client operations).
@@ -248,6 +275,14 @@ func (n *Node) Do(fn func()) error {
 
 func (n *Node) loop() {
 	defer n.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if fn, ok := n.crashDump.Load().(func()); ok && fn != nil {
+				fn()
+			}
+			panic(r)
+		}
+	}()
 	env := nodeEnv{n: n}
 	n.h.Init(env)
 	for {

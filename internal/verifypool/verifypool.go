@@ -324,6 +324,17 @@ func (p *Pool) Rejected() int64 { return p.rejected.Load() }
 // pool.
 func (p *Pool) Dropped() int64 { return p.dropped.Load() }
 
+// QueueDepth reports how many submitted envelopes await ordered delivery
+// (0 in bypass mode, where verification is synchronous). A depth pinned
+// near the pool's capacity is the backpressure signal: submitters are
+// outrunning the fan-in consumer.
+func (p *Pool) QueueDepth() int64 {
+	if p.workers <= 1 {
+		return 0
+	}
+	return int64(len(p.ordered))
+}
+
 // RegisterMetrics exposes the pool's counters under prefix (e.g.
 // "node3.verify."). The gauges read atomics and are safe to snapshot while
 // the pool runs.
@@ -332,6 +343,7 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"passthrough", p.passthrough.Load)
 	reg.GaugeFunc(prefix+"rejected", p.rejected.Load)
 	reg.GaugeFunc(prefix+"dropped", p.dropped.Load)
+	reg.GaugeFunc(prefix+"queue_depth", p.QueueDepth)
 }
 
 // verifier is the per-worker verification state: a private read-view of
